@@ -1,0 +1,225 @@
+// adaserve-bench regenerates the paper's evaluation artifacts: for every
+// table and figure it replays the corresponding workload through AdaServe
+// and the baselines on the simulated substrate and prints the series the
+// paper reports.
+//
+// Usage:
+//
+//	adaserve-bench                       # run every experiment
+//	adaserve-bench -exp fig8 -model llama
+//	adaserve-bench -exp fig10,fig11 -duration 120 -seed 7
+//
+// Experiments: fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+// fig15, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"adaserve/internal/experiments"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/metrics"
+	"adaserve/internal/workload"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,all)")
+	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
+	duration := flag.Float64("duration", 120, "trace duration in seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var setups []experiments.ModelSetup
+	switch *modelFlag {
+	case "llama":
+		setups = []experiments.ModelSetup{experiments.Llama70B()}
+	case "qwen":
+		setups = []experiments.ModelSetup{experiments.Qwen32B()}
+	case "both":
+		setups = experiments.Setups()
+	default:
+		log.Fatalf("unknown model %q (llama, qwen, both)", *modelFlag)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	opts := experiments.RunOptions{Seed: *seed, Duration: *duration}
+
+	if all || want["fig7"] {
+		runFig7(*seed)
+	}
+	if all || want["fig13"] {
+		runFig13(*seed, *duration)
+	}
+	for _, setup := range setups {
+		fmt.Printf("\n================ %s (baseline %.1f ms/token) ================\n",
+			setup.Name, 1e3*setup.BaselineLatency())
+		if all || want["fig1"] {
+			runFig1(setup, opts)
+		}
+		if all || want["fig8"] || want["fig9"] || want["fig12"] {
+			runFig8912(setup, opts, all || want["fig8"], all || want["fig9"], all || want["fig12"])
+		}
+		if all || want["fig10"] {
+			runSweep("Figure 10: urgent-request proportion (RPS=4.0)", setup, opts, experiments.Figure10, "urgent")
+		}
+		if all || want["fig11"] {
+			runSweep("Figure 11: SLO scale (RPS=4.0, urgent=60%)", setup, opts, experiments.Figure11, "slo-scale")
+		}
+		if all || want["fig14"] {
+			runFig14(setup, opts)
+		}
+		if all || want["fig15"] {
+			runFig15(setup, opts)
+		}
+		if all || want["ablations"] {
+			runAblations(setup, opts)
+		}
+		if all || want["hardware"] {
+			runHardware(setup)
+		}
+	}
+}
+
+func runHardware(setup experiments.ModelSetup) {
+	fmt.Println("\n--- Hardware sensitivity: profiled budget across GPU platforms ---")
+	rows, err := experiments.HardwareSensitivity(setup, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderHardware(setup, rows))
+}
+
+func runFig7(seed uint64) {
+	fmt.Println("\n--- Figure 7: real-world trace shape (requests per 30s bin, mean 1 rps) ---")
+	ts := workload.RealTrace(mathutil.NewRNG(seed), 1.0, 1200)
+	bins := workload.BinCounts(ts, 1200, 30)
+	renderSpark(bins, 30)
+}
+
+func runFig13(seed uint64, duration float64) {
+	fmt.Println("\n--- Figure 13: synthetic per-category trace (requests per bin) ---")
+	perCat := workload.SyntheticCategoryTrace(mathutil.NewRNG(seed), 4.0, duration)
+	names := []string{"coding", "chat", "summarization"}
+	for i, ts := range perCat {
+		fmt.Printf("%-14s", names[i])
+		renderSpark(workload.BinCounts(ts, duration, duration/20), 0)
+	}
+}
+
+func renderSpark(bins []int, width int) {
+	max := 1
+	for _, b := range bins {
+		if b > max {
+			max = b
+		}
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, b := range bins {
+		sb.WriteRune(glyphs[b*(len(glyphs)-1)/max])
+	}
+	fmt.Printf("%s  (peak %d)\n", sb.String(), max)
+}
+
+func runFig1(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Println("\n--- Figure 1: baselines on a two-SLO workload ---")
+	pts, err := experiments.Figure1(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %14s %14s %12s %12s\n",
+		"system", "cat1 TPOT ms", "cat2 TPOT ms", "cat1 viol%", "cat2 viol%")
+	for _, p := range pts {
+		c1 := p.Sum.PerCategory[0]
+		c2 := p.Sum.PerCategory[1]
+		fmt.Printf("%-18s %14.1f %14.1f %12.0f %12.0f\n", p.System,
+			1e3*c1.MeanTPOT, 1e3*c2.MeanTPOT,
+			100*(1-c1.Attainment()), 100*(1-c2.Attainment()))
+	}
+}
+
+func runFig8912(setup experiments.ModelSetup, opts experiments.RunOptions, f8, f9, f12 bool) {
+	pts, err := experiments.Figure8and9(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if f8 {
+		fmt.Println("\n--- Figure 8: SLO attainment (%) vs RPS ---")
+		fmt.Print(experiments.RenderSeries(pts, "rps", "attainment %",
+			func(s *metrics.Summary) float64 { return 100 * s.Attainment() }))
+	}
+	if f9 {
+		fmt.Println("\n--- Figure 9: goodput (tokens/s) vs RPS ---")
+		fmt.Print(experiments.RenderSeries(pts, "rps", "goodput tok/s",
+			func(s *metrics.Summary) float64 { return s.Goodput }))
+	}
+	if f12 {
+		fmt.Println("\n--- Figure 12: mean accepted tokens per verification step vs RPS ---")
+		spec := map[experiments.SystemKind]bool{}
+		for _, k := range experiments.Figure12Systems() {
+			spec[k] = true
+		}
+		var specPts []experiments.Point
+		for _, p := range pts {
+			if spec[p.System] {
+				specPts = append(specPts, p)
+			}
+		}
+		fmt.Print(experiments.RenderSeries(specPts, "rps", "mean acc",
+			func(s *metrics.Summary) float64 { return s.MeanAcceptedPerStep }))
+	}
+}
+
+type sweepFn func(experiments.ModelSetup, experiments.RunOptions) ([]experiments.Point, error)
+
+func runSweep(title string, setup experiments.ModelSetup, opts experiments.RunOptions, fn sweepFn, xName string) {
+	fmt.Println("\n--- " + title + " ---")
+	pts, err := fn(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderSeries(pts, xName, "attainment %",
+		func(s *metrics.Summary) float64 { return 100 * s.Attainment() }))
+	fmt.Println()
+	fmt.Print(experiments.RenderSeries(pts, xName, "goodput tok/s",
+		func(s *metrics.Summary) float64 { return s.Goodput }))
+}
+
+func runFig14(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Println("\n--- Figure 14: SLO attainment under the synthetic trace ---")
+	pts, err := experiments.Figure13and14(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%-18s %6.1f%%\n", p.System, 100*p.Sum.Attainment())
+	}
+}
+
+func runFig15(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Println("\n--- Figure 15: AdaServe latency breakdown ---")
+	sum, err := experiments.Figure15(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := sum.Breakdown
+	total := b.Total()
+	fmt.Printf("scheduling %.2f%%, speculation %.1f%%, verification %.1f%% (prefill co-batched into verification)\n",
+		100*b.Scheduling/total, 100*b.Speculation/total, 100*(b.Verification+b.Prefill)/total)
+}
+
+func runAblations(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Println("\n--- Ablations (RPS 3.8, default mix) ---")
+	rows, err := experiments.Ablations(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderAblations(rows))
+}

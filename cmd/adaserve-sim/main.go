@@ -1,0 +1,75 @@
+// adaserve-sim runs one serving configuration over one synthesized trace
+// and dumps the full metric summary — the single-run counterpart of
+// adaserve-bench's sweeps.
+//
+// Usage:
+//
+//	adaserve-sim -system AdaServe -model llama -rps 3.8 -duration 120
+//	adaserve-sim -system "vLLM-Spec (6)" -urgent 0.7 -slo-scale 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"adaserve/internal/experiments"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/sim"
+	"adaserve/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "AdaServe", "serving system name (AdaServe, vLLM, Sarathi-Serve, vLLM-Spec (4|6|8), vLLM + Priority, FastServe, VTC, AdaServe (interleaved))")
+	model := flag.String("model", "llama", "model setup: llama or qwen")
+	rps := flag.Float64("rps", 3.8, "mean request rate")
+	duration := flag.Float64("duration", 120, "trace duration in seconds")
+	urgent := flag.Float64("urgent", 0, "urgent-request proportion (0 = default 60/20/20 mix)")
+	sloScale := flag.Float64("slo-scale", 1.0, "scale applied to the most urgent SLO")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var setup experiments.ModelSetup
+	switch *model {
+	case "llama":
+		setup = experiments.Llama70B()
+	case "qwen":
+		setup = experiments.Qwen32B()
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+
+	mix := workload.DefaultMix
+	if *urgent > 0 {
+		mix = workload.UrgentMix(*urgent)
+	}
+	gen, err := experiments.NewGenerator(setup, mix, *sloScale, mathutil.Hash2(*seed, 0x51e))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := workload.RealTrace(mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), *rps, *duration)
+	reqs := gen.FromTimestamps(ts)
+	st := workload.StreamStats(reqs)
+	fmt.Printf("model: %s (baseline %.1f ms/token)\n", setup.Name, 1e3*setup.BaselineLatency())
+	fmt.Printf("trace: %d requests, %.2f rps, mean prompt %.0f, mean output %.0f\n",
+		st.Requests, st.MeanRPS, st.MeanPrompt, st.MeanOutput)
+
+	sys, err := experiments.Build(experiments.SystemKind(*system), setup, experiments.BuildOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sys, reqs, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	fmt.Println()
+	fmt.Println(s)
+	fmt.Printf("\nthroughput %.1f tok/s | mean TTFT %.2fs | p50 TPOT %.1fms | p99 TPOT %.1fms\n",
+		s.Throughput, s.MeanTTFT, 1e3*s.P50TPOT(), 1e3*s.P99TPOT())
+	b := s.Breakdown
+	fmt.Printf("breakdown: scheduling %.2f%%, speculation %.1f%%, verification %.1f%%, prefill %.1f%%\n",
+		100*b.Scheduling/b.Total(), 100*b.Speculation/b.Total(),
+		100*b.Verification/b.Total(), 100*b.Prefill/b.Total())
+	fmt.Printf("simulated: %.1fs over %d iterations\n", res.EndTime, res.Iterations)
+}

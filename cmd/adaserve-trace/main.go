@@ -1,0 +1,59 @@
+// adaserve-trace synthesizes and inspects the evaluation's arrival traces:
+// the Figure 7 real-world shape and the Figure 13 synthetic per-category
+// trace. It prints per-bin counts as CSV for plotting.
+//
+// Usage:
+//
+//	adaserve-trace -kind real -rps 4.0 -duration 1200 -bin 30
+//	adaserve-trace -kind synthetic -duration 360
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"adaserve/internal/mathutil"
+	"adaserve/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "real", "trace kind: real (Fig. 7) or synthetic (Fig. 13)")
+	rps := flag.Float64("rps", 4.0, "mean request rate (real) / peak rate (synthetic)")
+	duration := flag.Float64("duration", 1200, "trace duration in seconds")
+	bin := flag.Float64("bin", 30, "histogram bin width in seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := mathutil.NewRNG(*seed)
+	switch *kind {
+	case "real":
+		ts := workload.RealTrace(rng, *rps, *duration)
+		fmt.Printf("# real trace: %d arrivals, mean %.2f rps\n",
+			len(ts), float64(len(ts))/(*duration))
+		fmt.Println("time_s,requests")
+		for i, c := range workload.BinCounts(ts, *duration, *bin) {
+			fmt.Printf("%.0f,%d\n", float64(i)*(*bin), c)
+		}
+	case "synthetic":
+		perCat := workload.SyntheticCategoryTrace(rng, *rps, *duration)
+		names := []string{"coding", "chat", "summarization"}
+		fmt.Println("time_s,coding,chat,summarization")
+		bins := make([][]int, len(perCat))
+		for i, ts := range perCat {
+			bins[i] = workload.BinCounts(ts, *duration, *bin)
+		}
+		for j := range bins[0] {
+			fmt.Printf("%.0f", float64(j)*(*bin))
+			for i := range bins {
+				fmt.Printf(",%d", bins[i][j])
+			}
+			fmt.Println()
+		}
+		for i, ts := range perCat {
+			fmt.Printf("# %s: %d arrivals\n", names[i], len(ts))
+		}
+	default:
+		log.Fatalf("unknown trace kind %q", *kind)
+	}
+}

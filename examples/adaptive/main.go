@@ -1,0 +1,79 @@
+// Adaptive speculation control: shows Eq. 8-9 in action. As the active
+// request count n rises, AdaServe shrinks the beam depth d and width w so
+// speculative work stays inside the verification budget; a static
+// configuration wastes draft compute at high load and under-speculates at
+// low load.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaserve/internal/core"
+	"adaserve/internal/experiments"
+	"adaserve/internal/gpu"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/request"
+	"adaserve/internal/sched"
+	"adaserve/internal/sim"
+	"adaserve/internal/workload"
+)
+
+func main() {
+	setup := experiments.Llama70B()
+
+	// 1. The control law itself: profile the verifier, derive the budget,
+	//    and print (d, w) across load levels.
+	cm := gpu.MustCostModel(setup.HW, setup.Target, setup.TargetTP)
+	prof, err := gpu.ProfileCostModel(cm, 4096, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := prof.BudgetFor(1.3 * prof.Base)
+	ctrl := core.DefaultController(budget)
+	fmt.Printf("profiled verifier: base %.1f ms, knee %d tokens, budget B=%d\n\n",
+		1e3*prof.Base, prof.Knee, budget)
+	fmt.Println("active requests n ->  depth d, width w   (Eq. 8-9)")
+	for _, n := range []int{1, 4, 8, 16, 32, 64, 128} {
+		d, w := ctrl.Params(n)
+		fmt.Printf("  n = %3d            ->  d = %d, w = %d\n", n, d, w)
+	}
+
+	// 2. End to end: adaptive vs static speculation under a load burst.
+	gen, err := experiments.NewGenerator(setup, workload.DefaultMix, 1.0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := workload.RealTrace(mathutil.NewRNG(5), 4.2, 75)
+	reqs := gen.FromTimestamps(ts)
+
+	run := func(name string, opts experiments.BuildOptions) {
+		sys, err := experiments.Build(experiments.SysAdaServe, setup, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp := make([]*request.Request, len(reqs))
+		for i, r := range reqs {
+			cp[i] = request.New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
+		}
+		res, err := sim.Run(sys, cp, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		extra := ""
+		if a, ok := sys.(*sched.AdaServe); ok && a.Debug.DecodeIters > 0 {
+			extra = fmt.Sprintf("  (avg depth %.1f)",
+				float64(a.Debug.SumDepth)/float64(a.Debug.DecodeIters))
+		}
+		fmt.Printf("%-22s attainment %5.1f%%, goodput %5.0f tok/s, mean acc %.2f%s\n",
+			name, 100*s.Attainment(), s.Goodput, s.MeanAcceptedPerStep, extra)
+	}
+
+	fmt.Println("\nadaptive vs static speculation at 4.2 req/s:")
+	run("adaptive (Eq. 8-9)", experiments.BuildOptions{Seed: 1})
+	run("static d=2 w=1", experiments.BuildOptions{Seed: 1, StaticD: 2, StaticW: 1})
+	run("static d=8 w=4", experiments.BuildOptions{Seed: 1, StaticD: 8, StaticW: 4})
+}

@@ -1,0 +1,55 @@
+// Package core implements the paper's primary contribution:
+//
+//   - Algorithm 1: optimal token-tree construction under known path
+//     probabilities (with the optimality and connectivity properties of
+//     Appendices B and C);
+//   - Algorithm 2: SLO-customized speculative decoding's two selection
+//     phases (SLO-customized selection and throughput-optimized selection)
+//     over beam-search candidate trees;
+//   - the adaptive (d, w) controller of Eq. 8–9.
+//
+// Everything here is pure CPU planning code — the paper measures it as the
+// "scheduling" slice of Figure 15 — and is deterministic: all ties are
+// broken by (request index, node ID).
+package core
+
+import "container/heap"
+
+// frontierItem is a candidate node eligible for selection: its parent is
+// already selected, it is not.
+type frontierItem struct {
+	req      int     // request index
+	node     int     // node ID within the request's candidate tree
+	pathProb float64 // approximated f(v)
+}
+
+// frontierHeap is a max-heap on pathProb with deterministic tie-breaking.
+type frontierHeap []frontierItem
+
+func (h frontierHeap) Len() int { return len(h) }
+
+func (h frontierHeap) Less(i, j int) bool {
+	if h[i].pathProb != h[j].pathProb {
+		return h[i].pathProb > h[j].pathProb
+	}
+	if h[i].req != h[j].req {
+		return h[i].req < h[j].req
+	}
+	return h[i].node < h[j].node
+}
+
+func (h frontierHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *frontierHeap) Push(x any) { *h = append(*h, x.(frontierItem)) }
+
+func (h *frontierHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func pushItem(h *frontierHeap, it frontierItem) { heap.Push(h, it) }
+
+func popItem(h *frontierHeap) frontierItem { return heap.Pop(h).(frontierItem) }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"adaserve/internal/toktree"
+)
+
+// SelectRequest is one request's input to Algorithm 2's selection phases.
+type SelectRequest struct {
+	// Cand is the candidate token tree built by the speculation phase.
+	Cand *toktree.Tree
+	// MinAccept is A(r): the minimum expected accepted tokens this
+	// iteration needs to keep the request on its SLO.
+	MinAccept float64
+}
+
+// SelectConfig tunes Algorithm 2's selection phases.
+type SelectConfig struct {
+	// Budget is the total verification token budget B (counts roots).
+	Budget int
+	// Depth is the speculation depth d; A_cap(r) = min(A(r), d+1) because a
+	// depth-d tree can commit at most d+1 tokens.
+	Depth int
+	// PerRequestMax is n_max: the cap on one request's draft-tree size
+	// during SLO-customized selection, preventing a hard request from
+	// monopolizing the budget with low-probability nodes. <= 0 means
+	// unlimited (ablation).
+	PerRequestMax int
+}
+
+// SelectResult reports the outcome of the two selection phases.
+type SelectResult struct {
+	// Selections holds the draft token tree for each request, parallel to
+	// the input slice.
+	Selections []*toktree.Selection
+	// ExpectedAccept[i] is Σ f(v) over request i's selection.
+	ExpectedAccept []float64
+	// SLOSatisfied[i] reports whether E[acc] reached A_cap(r_i) during the
+	// SLO-customized phase.
+	SLOSatisfied []bool
+	// BudgetUsed counts nodes selected in total (incl. roots).
+	BudgetUsed int
+}
+
+// Select runs Algorithm 2's SLO-customized selection followed by
+// throughput-optimized selection over the candidate trees.
+//
+// Phase ordering (paper §4.3): requests are processed in descending A(r) so
+// that when the budget cannot satisfy everyone, the slowest requests (those
+// needing the most progress) are served first. Within a request, nodes are
+// taken from the candidate tree in descending approximated-f(v) order, with
+// parents always preceding children (connectivity, Appendix B). The
+// remaining budget is then spent globally on the highest-f(v) candidates.
+func Select(reqs []SelectRequest, cfg SelectConfig) (*SelectResult, error) {
+	n := len(reqs)
+	if cfg.Budget < n {
+		return nil, fmt.Errorf("core: budget %d below one root per request (%d)", cfg.Budget, n)
+	}
+	if cfg.Depth < 0 {
+		return nil, fmt.Errorf("core: negative depth %d", cfg.Depth)
+	}
+	res := &SelectResult{
+		Selections:     make([]*toktree.Selection, n),
+		ExpectedAccept: make([]float64, n),
+		SLOSatisfied:   make([]bool, n),
+	}
+	frontiers := make([]frontierHeap, n)
+	budget := cfg.Budget
+
+	// Initialization: every request's root is selected and costs budget.
+	for i, rq := range reqs {
+		res.Selections[i] = toktree.NewSelection(rq.Cand)
+		res.ExpectedAccept[i] = 1
+		budget--
+		for _, c := range rq.Cand.Nodes[0].Children {
+			pushItem(&frontiers[i], frontierItem{
+				req: i, node: c, pathProb: rq.Cand.Nodes[c].PathProb,
+			})
+		}
+	}
+
+	// SLO-customized selection, hardest requests first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].MinAccept > reqs[order[b]].MinAccept
+	})
+	maxPerReq := cfg.PerRequestMax
+	if maxPerReq <= 0 {
+		maxPerReq = math.MaxInt
+	}
+	for _, i := range order {
+		cap_ := capThreshold(reqs[i].MinAccept, cfg.Depth)
+		for res.ExpectedAccept[i] < cap_ &&
+			res.Selections[i].Size() < maxPerReq &&
+			budget > 0 && frontiers[i].Len() > 0 {
+			it := popItem(&frontiers[i])
+			addNode(res, &frontiers[i], reqs[i].Cand, i, it)
+			budget--
+		}
+		res.SLOSatisfied[i] = res.ExpectedAccept[i] >= cap_
+	}
+
+	// Throughput-optimized selection: global greedy over all frontiers.
+	var global frontierHeap
+	for i := range frontiers {
+		global = append(global, frontiers[i]...)
+	}
+	heap.Init(&global)
+	for budget > 0 && global.Len() > 0 {
+		it := popItem(&global)
+		addNode(res, &global, reqs[it.req].Cand, it.req, it)
+		budget--
+	}
+
+	res.BudgetUsed = cfg.Budget - budget
+	return res, nil
+}
+
+// capThreshold is A_cap(r) = min(A(r), d+1): a depth-d candidate tree cannot
+// commit more than d+1 tokens, so deficits beyond that are unattainable this
+// iteration (the request catches up over subsequent iterations).
+func capThreshold(minAccept float64, depth int) float64 {
+	limit := float64(depth + 1)
+	if minAccept > limit {
+		return limit
+	}
+	return minAccept
+}
+
+// addNode selects the node and pushes its children onto the given frontier.
+func addNode(res *SelectResult, h *frontierHeap, cand *toktree.Tree, req int, it frontierItem) {
+	res.Selections[req].Add(it.node)
+	res.ExpectedAccept[req] += it.pathProb
+	for _, c := range cand.Nodes[it.node].Children {
+		pushItem(h, frontierItem{req: req, node: c, pathProb: cand.Nodes[c].PathProb})
+	}
+}

@@ -1,0 +1,389 @@
+// Package engine is the execution engine (Figure 6): it "runs" draft and
+// target models by querying the synthetic LMs of internal/lm for token
+// outcomes and the roofline cost models of internal/gpu for wall time.
+// Schedulers call the engine; the engine never makes policy decisions.
+//
+// Timing protocol: engine methods return results plus the modeled GPU time
+// they would take; the caller accumulates those into the iteration's end
+// time and commits tokens at that time. This keeps the decision of *when*
+// state becomes visible with the scheduler, as in a real system.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"adaserve/internal/gpu"
+	"adaserve/internal/lm"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/request"
+	"adaserve/internal/toktree"
+)
+
+// Config assembles an engine.
+type Config struct {
+	Target     lm.Model
+	Draft      lm.Model
+	TargetCost *gpu.CostModel
+	DraftCost  *gpu.CostModel
+	// Rule selects the verification acceptance rule.
+	Rule lm.VerifyRule
+	// Seed drives the engine's verification RNG.
+	Seed uint64
+}
+
+// Engine executes forward passes for one serving instance.
+type Engine struct {
+	target     lm.Model
+	draft      lm.Model
+	targetCost *gpu.CostModel
+	draftCost  *gpu.CostModel
+	verifier   *lm.Verifier
+	rng        *mathutil.RNG
+
+	// Stats accumulate across the run.
+	Stats Stats
+}
+
+// Stats tallies engine activity for metrics and the Figure 15 breakdown.
+type Stats struct {
+	// SpecTime is GPU seconds spent in draft-model speculation.
+	SpecTime float64
+	// VerifyTime is GPU seconds spent in target verification/decode.
+	VerifyTime float64
+	// PrefillTime is GPU seconds spent prefilling prompts.
+	PrefillTime float64
+	// DraftTokens counts draft-model forward positions.
+	DraftTokens int
+	// VerifiedTokens counts target forward positions during verify/decode.
+	VerifiedTokens int
+	// CommittedTokens counts tokens committed to outputs.
+	CommittedTokens int
+	// VerifySteps counts verification (or plain decode) iterations summed
+	// over requests.
+	VerifySteps int
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Target == nil || cfg.TargetCost == nil {
+		return nil, fmt.Errorf("engine: target model and cost model required")
+	}
+	e := &Engine{
+		target:     cfg.Target,
+		draft:      cfg.Draft,
+		targetCost: cfg.TargetCost,
+		draftCost:  cfg.DraftCost,
+		rng:        mathutil.NewRNG(cfg.Seed),
+	}
+	if cfg.Draft != nil {
+		e.verifier = lm.NewVerifier(cfg.Target, cfg.Draft, cfg.Rule, e.rng)
+	} else {
+		e.verifier = lm.NewVerifier(cfg.Target, nil, cfg.Rule, e.rng)
+	}
+	return e, nil
+}
+
+// MustNew panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Target returns the target model.
+func (e *Engine) Target() lm.Model { return e.target }
+
+// Draft returns the draft model (nil when speculation is disabled).
+func (e *Engine) Draft() lm.Model { return e.draft }
+
+// TargetCost returns the target's cost model.
+func (e *Engine) TargetCost() *gpu.CostModel { return e.targetCost }
+
+// RNG exposes the engine's RNG for schedulers needing deterministic noise.
+func (e *Engine) RNG() *mathutil.RNG { return e.rng }
+
+// PrefillChunk models processing `chunk` prompt tokens for each listed
+// request (each entry its own chunk size) in one batched pass and returns
+// the GPU time. It advances PrefillDone and flips requests whose prompt
+// completes into the Decoding phase.
+type PrefillItem struct {
+	Req   *request.Request
+	Chunk int
+}
+
+// Prefill runs one batched prefill pass over the items. Attention cost is
+// exact: each new token attends over all prior tokens of its sequence.
+func (e *Engine) Prefill(items []PrefillItem) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	totalTokens := 0
+	kvReads := 0
+	for _, it := range items {
+		if it.Chunk <= 0 {
+			panic(fmt.Sprintf("engine: prefill chunk %d for request %d", it.Chunk, it.Req.ID))
+		}
+		if it.Chunk > it.Req.RemainingPrefill() {
+			panic(fmt.Sprintf("engine: prefill chunk %d exceeds remaining %d for request %d",
+				it.Chunk, it.Req.RemainingPrefill(), it.Req.ID))
+		}
+		prior := it.Req.PrefillDone
+		c := it.Chunk
+		totalTokens += c
+		kvReads += c*prior + c*(c+1)/2
+	}
+	lat := e.targetCost.ForwardLatency(gpu.BatchShape{
+		Tokens: totalTokens, Seqs: len(items), KVTokens: kvReads,
+	})
+	for _, it := range items {
+		it.Req.PrefillDone += it.Chunk
+		if it.Req.RemainingPrefill() == 0 {
+			it.Req.Phase = request.Decoding
+		}
+	}
+	e.Stats.PrefillTime += lat
+	e.Stats.VerifiedTokens += totalTokens
+	return lat
+}
+
+// DecodeResult reports one plain (non-speculative) decode pass.
+type DecodeResult struct {
+	// Tokens[i] is the token generated for reqs[i].
+	Tokens []lm.Token
+	// GPUTime is the modeled pass latency.
+	GPUTime float64
+}
+
+// DecodeBatch performs one continuous-batching decode iteration: every
+// request generates exactly one token (sampled from the target, matching
+// the stochastic verification rule's marginal distribution). Tokens are
+// NOT committed; the caller commits at the iteration end time.
+func (e *Engine) DecodeBatch(reqs []*request.Request) *DecodeResult {
+	if len(reqs) == 0 {
+		return &DecodeResult{}
+	}
+	ordered := append([]*request.Request(nil), reqs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	res := &DecodeResult{Tokens: make([]lm.Token, len(reqs))}
+	kv := 0
+	byID := make(map[int]lm.Token, len(reqs))
+	for _, r := range ordered {
+		dist := e.target.Dist(r.Ctx)
+		byID[r.ID] = dist.Sample(e.rng)
+		kv += r.ContextLen() + 1
+	}
+	for i, r := range reqs {
+		res.Tokens[i] = byID[r.ID]
+	}
+	res.GPUTime = e.targetCost.ForwardLatency(gpu.BatchShape{
+		Tokens: len(reqs), Seqs: len(reqs), KVTokens: kv,
+	})
+	e.Stats.VerifyTime += res.GPUTime
+	e.Stats.VerifiedTokens += len(reqs)
+	e.Stats.VerifySteps += len(reqs)
+	return res
+}
+
+// Mixed runs one Sarathi-style co-batched pass: one decode token for each
+// decode request plus prefill chunks for prefilling requests, in a single
+// forward pass (chunked-prefill co-batching). The combined pass shares the
+// weight-load cost, which is the source of Sarathi's efficiency.
+// Decode tokens are NOT committed; prefill progress is applied immediately.
+func (e *Engine) Mixed(decode []*request.Request, prefill []PrefillItem) (*DecodeResult, float64) {
+	res := &DecodeResult{}
+	totalTokens := 0
+	kv := 0
+	if len(decode) > 0 {
+		ordered := append([]*request.Request(nil), decode...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+		byID := make(map[int]lm.Token, len(decode))
+		for _, r := range ordered {
+			dist := e.target.Dist(r.Ctx)
+			byID[r.ID] = dist.Sample(e.rng)
+			kv += r.ContextLen() + 1
+		}
+		res.Tokens = make([]lm.Token, len(decode))
+		for i, r := range decode {
+			res.Tokens[i] = byID[r.ID]
+		}
+		totalTokens += len(decode)
+	}
+	for _, it := range prefill {
+		prior := it.Req.PrefillDone
+		c := it.Chunk
+		totalTokens += c
+		kv += c*prior + c*(c+1)/2
+	}
+	if totalTokens == 0 {
+		return res, 0
+	}
+	lat := e.targetCost.ForwardLatency(gpu.BatchShape{
+		Tokens: totalTokens, Seqs: len(decode) + len(prefill), KVTokens: kv,
+	})
+	for _, it := range prefill {
+		it.Req.PrefillDone += it.Chunk
+		if it.Req.RemainingPrefill() == 0 {
+			it.Req.Phase = request.Decoding
+		}
+	}
+	res.GPUTime = lat
+	e.Stats.VerifyTime += lat
+	e.Stats.VerifiedTokens += totalTokens
+	e.Stats.VerifySteps += len(decode)
+	return res, lat
+}
+
+// SpeculateResult reports the speculation phase for a batch.
+type SpeculateResult struct {
+	// Trees[i] is the candidate tree for reqs[i].
+	Trees []*toktree.Tree
+	// GPUTime is the modeled draft-model time for all beam steps.
+	GPUTime float64
+	// DraftTokens is the number of draft forward positions processed.
+	DraftTokens int
+}
+
+// SpeculateBeams runs the speculation phase: a depth-d width-w beam search
+// per request, all requests batched per step (the draft processes n·w
+// tokens per step after the first, the shape regularity CUDA graphs
+// exploit).
+func (e *Engine) SpeculateBeams(reqs []*request.Request, d, w int) (*SpeculateResult, error) {
+	if e.draft == nil || e.draftCost == nil {
+		return nil, fmt.Errorf("engine: speculation requires a draft model")
+	}
+	res := &SpeculateResult{Trees: make([]*toktree.Tree, len(reqs))}
+	if len(reqs) == 0 || d == 0 {
+		for i, r := range reqs {
+			res.Trees[i] = toktree.NewTree(r.Ctx, r.LastToken())
+		}
+		return res, nil
+	}
+	maxSteps := 0
+	totalKV := 0
+	for i, r := range reqs {
+		br, err := toktree.BeamSearch(e.draft, r.Ctx, r.LastToken(), d, w)
+		if err != nil {
+			return nil, fmt.Errorf("engine: beam search for request %d: %w", r.ID, err)
+		}
+		res.Trees[i] = br.Tree
+		res.DraftTokens += br.DraftTokensProcessed
+		if br.Steps > maxSteps {
+			maxSteps = br.Steps
+		}
+		totalKV += r.ContextLen()
+	}
+	// Cost: step 1 processes n root tokens; steps 2..d process n·w beam
+	// tokens each, batched across requests.
+	n := len(reqs)
+	for step := 1; step <= maxSteps; step++ {
+		tokens := n
+		if step > 1 {
+			tokens = n * w
+		}
+		lat := e.draftCost.ForwardLatency(gpu.BatchShape{
+			Tokens: tokens, Seqs: n, KVTokens: totalKV + n*step,
+		})
+		res.GPUTime += lat
+	}
+	e.Stats.SpecTime += res.GPUTime
+	e.Stats.DraftTokens += res.DraftTokens
+	return res, nil
+}
+
+// VerifyItem pairs a request with its selected draft tree.
+type VerifyItem struct {
+	Req *request.Request
+	Sel *toktree.Selection
+}
+
+// VerifyBatchResult reports one batched tree-verification pass.
+type VerifyBatchResult struct {
+	// Results[i] corresponds to items[i].
+	Results []*toktree.VerifyResult
+	// GPUTime is the modeled verification pass latency.
+	GPUTime float64
+	// TokensVerified is the total tree positions processed.
+	TokensVerified int
+}
+
+// VerifyTrees runs one batched verification pass over the selected trees.
+// Tokens are NOT committed; the caller commits at the iteration end time.
+func (e *Engine) VerifyTrees(items []VerifyItem) *VerifyBatchResult {
+	return e.VerifyTreesWithPrefill(items, nil)
+}
+
+// VerifyTreesWithPrefill runs one batched pass that verifies the selected
+// trees AND processes prefill chunks for other requests (the unified-batch
+// style of tree-based serving engines: prefill tokens ride along in the
+// same forward pass, sharing the weight-load cost, so prompts never stall
+// decode as a monolithic pass would). Prefill progress is applied
+// immediately; verify tokens are NOT committed (caller commits at the
+// iteration end time).
+func (e *Engine) VerifyTreesWithPrefill(items []VerifyItem, prefill []PrefillItem) *VerifyBatchResult {
+	res := &VerifyBatchResult{Results: make([]*toktree.VerifyResult, len(items))}
+	if len(items) == 0 && len(prefill) == 0 {
+		return res
+	}
+	ordered := make([]int, len(items))
+	for i := range ordered {
+		ordered[i] = i
+	}
+	sort.Slice(ordered, func(a, b int) bool { return items[ordered[a]].Req.ID < items[ordered[b]].Req.ID })
+	kv := 0
+	for _, idx := range ordered {
+		it := items[idx]
+		vr := toktree.Verify(it.Sel, e.verifier)
+		res.Results[idx] = vr
+		res.TokensVerified += vr.TokensVerified
+		// Every tree token attends over the request context plus its depth.
+		kv += it.Sel.Size() * (it.Req.ContextLen() + 1)
+	}
+	totalTokens := res.TokensVerified
+	for _, it := range prefill {
+		prior := it.Req.PrefillDone
+		c := it.Chunk
+		totalTokens += c
+		kv += c*prior + c*(c+1)/2
+	}
+	res.GPUTime = e.targetCost.ForwardLatency(gpu.BatchShape{
+		Tokens: totalTokens, Seqs: len(items) + len(prefill), KVTokens: kv,
+	})
+	for _, it := range prefill {
+		it.Req.PrefillDone += it.Chunk
+		if it.Req.RemainingPrefill() == 0 {
+			it.Req.Phase = request.Decoding
+		}
+	}
+	e.Stats.VerifyTime += res.GPUTime
+	e.Stats.VerifiedTokens += totalTokens
+	e.Stats.VerifySteps += len(items)
+	return res
+}
+
+// CommitVerify applies a verification result to a request at time now:
+// the accepted prefix plus the correction/bonus token.
+func CommitVerify(r *request.Request, vr *toktree.VerifyResult, now float64) int {
+	tokens := append(append([]lm.Token(nil), vr.Accepted...), vr.Correction)
+	kept := r.Commit(tokens, now)
+	r.VerifySteps++
+	return kept
+}
+
+// BaselineLatency exposes the target's unloaded per-token decode latency at
+// a reference context length (used to derive category-1 SLOs).
+func (e *Engine) BaselineLatency(ctx int) float64 {
+	return e.targetCost.BaselineLatency(ctx)
+}
+
+// DraftStepLatency returns the modeled latency of one single-token draft
+// decoding step at a reference context: the serial step cost that makes
+// interleaved selection-and-decoding prohibitively slow (Challenge 2).
+func (e *Engine) DraftStepLatency() float64 {
+	if e.draftCost == nil {
+		return 0
+	}
+	return e.draftCost.BaselineLatency(512)
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"testing"
+
+	"adaserve/internal/gpu"
+	"adaserve/internal/lm"
+	"adaserve/internal/request"
+	"adaserve/internal/toktree"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	target := lm.MustSyntheticLM("t", 1, 4096, 16, 3.2, 0.02)
+	draft := lm.MustDraftLM("d", target, 0.88, 2)
+	return MustNew(Config{
+		Target: target, Draft: draft,
+		TargetCost: gpu.MustCostModel(gpu.A100, gpu.Llama70B, 4),
+		DraftCost:  gpu.MustCostModel(gpu.A100, gpu.Llama1B, 1),
+		Seed:       3,
+	})
+}
+
+func decodingReq(id int, prompt, maxNew int) *request.Request {
+	r := request.New(id, request.Chat, 0.05, 0, prompt, maxNew, uint64(id)*31+7)
+	r.Phase = request.Decoding
+	r.PrefillDone = prompt
+	return r
+}
+
+func TestNewRequiresTarget(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("engine without target accepted")
+	}
+}
+
+func TestPrefillAdvancesAndFlips(t *testing.T) {
+	e := newEngine(t)
+	r := request.New(1, request.Chat, 0.05, 0, 100, 10, 7)
+	r.Phase = request.Prefilling
+
+	lat := e.Prefill([]PrefillItem{{Req: r, Chunk: 60}})
+	if lat <= 0 {
+		t.Fatal("prefill should cost time")
+	}
+	if r.PrefillDone != 60 || r.Phase != request.Prefilling {
+		t.Fatalf("after chunk: done=%d phase=%s", r.PrefillDone, r.Phase)
+	}
+	e.Prefill([]PrefillItem{{Req: r, Chunk: 40}})
+	if r.Phase != request.Decoding {
+		t.Fatal("completed prefill should flip to decoding")
+	}
+	if e.Stats.PrefillTime <= 0 || e.Stats.VerifiedTokens != 100 {
+		t.Fatalf("stats %+v", e.Stats)
+	}
+}
+
+func TestPrefillPanicsOnOverChunk(t *testing.T) {
+	e := newEngine(t)
+	r := request.New(1, request.Chat, 0.05, 0, 100, 10, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-sized chunk did not panic")
+		}
+	}()
+	e.Prefill([]PrefillItem{{Req: r, Chunk: 101}})
+}
+
+func TestPrefillLongerPromptsCostMore(t *testing.T) {
+	e := newEngine(t)
+	r1 := request.New(1, request.Chat, 0.05, 0, 100, 10, 7)
+	r2 := request.New(2, request.Chat, 0.05, 0, 2000, 10, 7)
+	l1 := e.Prefill([]PrefillItem{{Req: r1, Chunk: 100}})
+	l2 := e.Prefill([]PrefillItem{{Req: r2, Chunk: 2000}})
+	if l2 <= l1 {
+		t.Fatalf("2000-token prefill (%.2fms) not dearer than 100 (%.2fms)", 1e3*l2, 1e3*l1)
+	}
+}
+
+func TestDecodeBatchOneTokenEach(t *testing.T) {
+	e := newEngine(t)
+	reqs := []*request.Request{decodingReq(1, 64, 10), decodingReq(2, 64, 10)}
+	res := e.DecodeBatch(reqs)
+	if len(res.Tokens) != 2 {
+		t.Fatalf("tokens %v", res.Tokens)
+	}
+	if res.GPUTime <= 0 {
+		t.Fatal("decode should cost time")
+	}
+	if e.Stats.VerifySteps != 2 {
+		t.Fatalf("verify steps %d", e.Stats.VerifySteps)
+	}
+}
+
+func TestDecodeBatchOrderIndependence(t *testing.T) {
+	// The same requests in a different slice order must receive the same
+	// tokens (per-request determinism), because the engine samples in ID
+	// order.
+	mk := func(order []int) map[int]lm.Token {
+		e := newEngine(t)
+		reqs := make([]*request.Request, len(order))
+		for i, id := range order {
+			reqs[i] = decodingReq(id, 64, 10)
+		}
+		res := e.DecodeBatch(reqs)
+		out := map[int]lm.Token{}
+		for i, r := range reqs {
+			out[r.ID] = res.Tokens[i]
+		}
+		return out
+	}
+	a := mk([]int{1, 2, 3})
+	b := mk([]int{3, 1, 2})
+	for id, tok := range a {
+		if b[id] != tok {
+			t.Fatalf("request %d got different tokens under reordering", id)
+		}
+	}
+}
+
+func TestDecodeBatchEmpty(t *testing.T) {
+	e := newEngine(t)
+	res := e.DecodeBatch(nil)
+	if res.GPUTime != 0 || len(res.Tokens) != 0 {
+		t.Fatal("empty batch should be free")
+	}
+}
+
+func TestSpeculateBeamsShapesAndCost(t *testing.T) {
+	e := newEngine(t)
+	reqs := []*request.Request{decodingReq(1, 64, 50), decodingReq(2, 64, 50)}
+	res, err := e.SpeculateBeams(reqs, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) != 2 {
+		t.Fatal("one tree per request")
+	}
+	for i, tr := range res.Trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+		if tr.Depth() != 4 {
+			t.Fatalf("tree %d depth %d", i, tr.Depth())
+		}
+	}
+	if res.GPUTime <= 0 || res.DraftTokens <= 0 {
+		t.Fatal("speculation must cost draft time")
+	}
+	if e.Stats.SpecTime != res.GPUTime {
+		t.Fatal("stats not accumulated")
+	}
+}
+
+func TestSpeculateBeamsDepthZero(t *testing.T) {
+	e := newEngine(t)
+	reqs := []*request.Request{decodingReq(1, 64, 50)}
+	res, err := e.SpeculateBeams(reqs, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trees[0].Size() != 1 || res.GPUTime != 0 {
+		t.Fatal("depth 0 should be a free bare root")
+	}
+}
+
+func TestSpeculateRequiresDraft(t *testing.T) {
+	target := lm.MustSyntheticLM("t", 1, 4096, 16, 3.2, 0.02)
+	e := MustNew(Config{
+		Target:     target,
+		TargetCost: gpu.MustCostModel(gpu.A100, gpu.Llama70B, 4),
+		Seed:       3,
+	})
+	if _, err := e.SpeculateBeams([]*request.Request{decodingReq(1, 8, 4)}, 2, 2); err == nil {
+		t.Fatal("speculation without draft accepted")
+	}
+}
+
+func TestVerifyTreesCommitsViaHelper(t *testing.T) {
+	e := newEngine(t)
+	r := decodingReq(1, 64, 50)
+	spec, err := e.SpeculateBeams([]*request.Request{r}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := toktree.NewSelection(spec.Trees[0])
+	for id := 1; id < spec.Trees[0].Size(); id++ {
+		if sel.Has(spec.Trees[0].Nodes[id].Parent) {
+			sel.Add(id)
+		}
+	}
+	ver := e.VerifyTrees([]VerifyItem{{Req: r, Sel: sel}})
+	if ver.GPUTime <= 0 || ver.TokensVerified != sel.Size() {
+		t.Fatalf("verify result %+v", ver)
+	}
+	kept := CommitVerify(r, ver.Results[0], 1.0)
+	if kept < 1 {
+		t.Fatal("verification must commit at least one token")
+	}
+	if r.OutputLen() != kept || r.VerifySteps != 1 {
+		t.Fatalf("request state len=%d steps=%d", r.OutputLen(), r.VerifySteps)
+	}
+}
+
+func TestVerifyTreesWithPrefillSharesPass(t *testing.T) {
+	e := newEngine(t)
+	r := decodingReq(1, 64, 50)
+	pre := request.New(2, request.Summarization, 0.15, 0, 500, 20, 9)
+	pre.Phase = request.Prefilling
+
+	spec, err := e.SpeculateBeams([]*request.Request{r}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := toktree.NewSelection(spec.Trees[0])
+	combined := e.VerifyTreesWithPrefill(
+		[]VerifyItem{{Req: r, Sel: sel}},
+		[]PrefillItem{{Req: pre, Chunk: 128}},
+	)
+	if pre.PrefillDone != 128 {
+		t.Fatal("co-batched prefill did not advance")
+	}
+
+	// The combined pass must be cheaper than two separate passes (shared
+	// weight load) — compare against fresh engines to avoid graph-cache
+	// interference.
+	e2 := newEngine(t)
+	r2 := decodingReq(1, 64, 50)
+	pre2 := request.New(2, request.Summarization, 0.15, 0, 500, 20, 9)
+	pre2.Phase = request.Prefilling
+	spec2, _ := e2.SpeculateBeams([]*request.Request{r2}, 2, 2)
+	sel2 := toktree.NewSelection(spec2.Trees[0])
+	sep := e2.VerifyTrees([]VerifyItem{{Req: r2, Sel: sel2}}).GPUTime
+	sep += e2.Prefill([]PrefillItem{{Req: pre2, Chunk: 128}})
+	if combined.GPUTime >= sep {
+		t.Fatalf("co-batched pass %.2fms not cheaper than separate %.2fms",
+			1e3*combined.GPUTime, 1e3*sep)
+	}
+}
+
+func TestMixedPass(t *testing.T) {
+	e := newEngine(t)
+	dec := []*request.Request{decodingReq(1, 64, 50)}
+	pre := request.New(2, request.Summarization, 0.15, 0, 300, 20, 9)
+	pre.Phase = request.Prefilling
+
+	res, lat := e.Mixed(dec, []PrefillItem{{Req: pre, Chunk: 100}})
+	if lat <= 0 || len(res.Tokens) != 1 {
+		t.Fatalf("mixed pass lat=%g tokens=%v", lat, res.Tokens)
+	}
+	if pre.PrefillDone != 100 {
+		t.Fatal("mixed pass did not advance prefill")
+	}
+	// Empty mixed pass is free.
+	res2, lat2 := e.Mixed(nil, nil)
+	if lat2 != 0 || len(res2.Tokens) != 0 {
+		t.Fatal("empty mixed pass should be free")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []lm.Token {
+		e := newEngine(t)
+		r := decodingReq(1, 64, 30)
+		var out []lm.Token
+		for r.Phase == request.Decoding {
+			spec, err := e.SpeculateBeams([]*request.Request{r}, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := toktree.NewSelection(spec.Trees[0])
+			for id := 1; id < spec.Trees[0].Size(); id++ {
+				if sel.Has(spec.Trees[0].Nodes[id].Parent) {
+					sel.Add(id)
+				}
+			}
+			ver := e.VerifyTrees([]VerifyItem{{Req: r, Sel: sel}})
+			CommitVerify(r, ver.Results[0], 0)
+		}
+		out = append(out, r.Output...)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs diverge at %d", i)
+		}
+	}
+}
+
+func TestBaselineLatencyExposed(t *testing.T) {
+	e := newEngine(t)
+	if e.BaselineLatency(512) <= 0 {
+		t.Fatal("baseline latency should be positive")
+	}
+}

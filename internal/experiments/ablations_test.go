@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite is slow")
+	}
+	rows, err := Ablations(Llama70B(), RunOptions{Seed: 1, Duration: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d ablation rows", len(rows))
+	}
+	byName := map[string]*AblationRow{}
+	for i := range rows {
+		byName[rows[i].Name] = &rows[i]
+	}
+	full := byName["AdaServe (full)"]
+	if full == nil || full.Sum.Requests == 0 {
+		t.Fatal("full configuration missing")
+	}
+
+	// Challenge 2: the interleaved Algorithm 1 system must be drastically
+	// worse (its iterations cost (B−n) serial draft steps).
+	inter := byName["interleaved Algorithm 1"]
+	if inter.Sum.Attainment() >= full.Sum.Attainment() {
+		t.Fatalf("interleaved attainment %.2f not below full %.2f",
+			inter.Sum.Attainment(), full.Sum.Attainment())
+	}
+
+	// Over-speculation: static d=8 w=4 must not beat the adaptive
+	// controller (at real load it collapses; short test traces may leave
+	// both unloaded, so the assertion is non-strict).
+	deep := byName["static d=8 w=4 (max trees)"]
+	if deep.Sum.Attainment() > full.Sum.Attainment()+1e-9 {
+		t.Fatalf("static deep attainment %.2f above adaptive %.2f",
+			deep.Sum.Attainment(), full.Sum.Attainment())
+	}
+
+	out := RenderAblations(rows)
+	if !strings.Contains(out, "configuration") || !strings.Contains(out, "AdaServe (full)") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestInterleavedSystemBuildable(t *testing.T) {
+	sys, err := Build(SysAdaServeInterleaved, Llama70B(), BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != string(SysAdaServeInterleaved) {
+		t.Fatalf("name %q", sys.Name())
+	}
+}

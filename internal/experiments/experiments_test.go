@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adaserve/internal/mathutil"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/sim"
+	"adaserve/internal/workload"
+)
+
+func TestSetupsMatchTable1(t *testing.T) {
+	setups := Setups()
+	if len(setups) != 2 {
+		t.Fatalf("%d setups", len(setups))
+	}
+	l := setups[0]
+	if l.TargetTP != 4 || !strings.Contains(l.Name, "70B") {
+		t.Fatalf("Llama setup %+v", l)
+	}
+	q := setups[1]
+	if q.TargetTP != 2 || !strings.Contains(q.Name, "32B") {
+		t.Fatalf("Qwen setup %+v", q)
+	}
+	for _, s := range setups {
+		if s.Draft.Params >= s.Target.Params {
+			t.Errorf("%s: draft not smaller than target", s.Name)
+		}
+		if s.Alpha <= 0 || s.Alpha > 1 {
+			t.Errorf("%s: alpha %g", s.Name, s.Alpha)
+		}
+	}
+}
+
+func TestBaselineLatencyBands(t *testing.T) {
+	// The calibration anchors: ~33ms for 70B/4xA100, ~29ms for 32B/2xA100.
+	l := Llama70B().BaselineLatency()
+	if l < 0.025 || l > 0.045 {
+		t.Fatalf("Llama baseline %.1fms", 1e3*l)
+	}
+	q := Qwen32B().BaselineLatency()
+	if q < 0.020 || q > 0.040 {
+		t.Fatalf("Qwen baseline %.1fms", 1e3*q)
+	}
+}
+
+func TestBuildAllSystems(t *testing.T) {
+	setup := Llama70B()
+	kinds := append(EndToEndSystems(), SysVLLMPriority, SysFastServe, SysVTC)
+	for _, kind := range kinds {
+		sys, err := Build(kind, setup, BuildOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sys.Name() != string(kind) {
+			t.Errorf("built %q for kind %q", sys.Name(), kind)
+		}
+	}
+	if _, err := Build("nope", setup, BuildOptions{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildSystemsRunEndToEnd(t *testing.T) {
+	setup := Llama70B()
+	gen, err := NewGenerator(setup, workload.DefaultMix, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := workload.PoissonTrace(mathutil.NewRNG(11), 2.0, 10)
+	reqs := gen.FromTimestamps(ts)
+	if len(reqs) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, kind := range []SystemKind{SysAdaServe, SysVLLM, SysVLLMSpec4} {
+		sum, err := runOne(kind, setup, reqs, 1, BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sum.Finished != len(reqs) {
+			t.Fatalf("%s finished %d of %d", kind, sum.Finished, len(reqs))
+		}
+	}
+}
+
+func TestRunOneIsolatesRequestState(t *testing.T) {
+	setup := Llama70B()
+	gen, _ := NewGenerator(setup, workload.DefaultMix, 1.0, 7)
+	reqs := gen.FromTimestamps([]float64{0, 0.1, 0.2})
+	if _, err := runOne(SysVLLM, setup, reqs, 1, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The caller's requests must be untouched (copies were served).
+	for _, r := range reqs {
+		if r.Phase != request.Queued || r.OutputLen() != 0 {
+			t.Fatal("runOne mutated shared requests")
+		}
+	}
+}
+
+func TestFigure15BreakdownShape(t *testing.T) {
+	sum, err := Figure15(Llama70B(), RunOptions{Seed: 1, Duration: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := sum.Breakdown.SchedulingShare()
+	if share <= 0 || share > 0.01 {
+		t.Fatalf("scheduling share %.3f%% outside (0, 1%%]", 100*share)
+	}
+	if sum.Breakdown.Speculation <= 0 || sum.Breakdown.Verification <= 0 {
+		t.Fatal("missing speculation/verification components")
+	}
+}
+
+func TestFigure1RunsBaselines(t *testing.T) {
+	pts, err := Figure1(Llama70B(), RunOptions{Seed: 1, Duration: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Figure1Systems()) {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Sum.Requests == 0 {
+			t.Fatalf("%s served nothing", p.System)
+		}
+		// Figure 1's workload holds only categories 1 and 2.
+		if cs, ok := p.Sum.PerCategory[request.Summarization]; ok && cs.Requests > 0 {
+			t.Fatalf("%s served summarization requests in a 2-category workload", p.System)
+		}
+	}
+}
+
+func TestFigure13and14TraceShape(t *testing.T) {
+	pts, err := Figure13and14(Llama70B(), RunOptions{
+		Seed: 1, Duration: 30,
+		Systems: []SystemKind{SysAdaServe, SysVLLM},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	var ada, vllm *metrics.Summary
+	for _, p := range pts {
+		switch p.System {
+		case SysAdaServe:
+			ada = p.Sum
+		case SysVLLM:
+			vllm = p.Sum
+		}
+	}
+	// Figure 14's headline: AdaServe tops vLLM under the bursty trace.
+	if ada.Attainment() <= vllm.Attainment() {
+		t.Fatalf("AdaServe %.2f <= vLLM %.2f under synthetic trace",
+			ada.Attainment(), vllm.Attainment())
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	pts := []Point{
+		{System: SysVLLM, X: 1, Sum: &metrics.Summary{System: "vLLM", Requests: 10, Attained: 5}},
+		{System: SysVLLM, X: 2, Sum: &metrics.Summary{System: "vLLM", Requests: 10, Attained: 8}},
+	}
+	out := RenderSeries(pts, "rps", "attainment", func(s *metrics.Summary) float64 {
+		return s.Attainment()
+	})
+	if !strings.Contains(out, "vLLM") || !strings.Contains(out, "0.50") || !strings.Contains(out, "0.80") {
+		t.Fatalf("rendered:\n%s", out)
+	}
+}
+
+func TestRPSSweeps(t *testing.T) {
+	l := RPSSweepsForSetup(Llama70B())
+	if l[0] != 2.6 || l[len(l)-1] != 4.8 {
+		t.Fatalf("Llama sweep %v", l)
+	}
+	q := RPSSweepsForSetup(Qwen32B())
+	if q[0] != 2.4 || q[len(q)-1] != 4.2 {
+		t.Fatalf("Qwen sweep %v", q)
+	}
+}
+
+// smoke-check one tiny Figure 8 cell end to end through the sim package.
+func TestFigure8SingleCell(t *testing.T) {
+	setup := Llama70B()
+	reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, 3.0, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(SysAdaServe, setup, BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := make([]*request.Request, len(reqs))
+	for i, r := range reqs {
+		cp[i] = request.New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
+	}
+	res, err := sim.Run(sys, cp, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Attainment() < 0.5 {
+		t.Fatalf("attainment %.2f at light load", res.Summary.Attainment())
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adaserve/internal/mathutil"
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/sim"
+	"adaserve/internal/workload"
+)
+
+// RunOptions controls a whole experiment sweep.
+type RunOptions struct {
+	// Seed drives trace synthesis and engine randomness.
+	Seed uint64
+	// Duration is the trace length in seconds. The paper replays a 20-min
+	// trace; the default here (180 s) keeps the full suite tractable while
+	// preserving the load dynamics (documented in EXPERIMENTS.md).
+	Duration float64
+	// Systems defaults to EndToEndSystems.
+	Systems []SystemKind
+}
+
+func (o *RunOptions) fill() {
+	if o.Duration == 0 {
+		o.Duration = 180
+	}
+	if o.Systems == nil {
+		o.Systems = EndToEndSystems()
+	}
+}
+
+// Point is one (x, system) cell of a figure: the full metric summary for one
+// run, tagged with the sweep coordinate.
+type Point struct {
+	System SystemKind
+	X      float64
+	Label  string
+	Sum    *metrics.Summary
+}
+
+// runOne builds the system, replays the trace, and returns its summary.
+func runOne(kind SystemKind, setup ModelSetup, reqs []*request.Request, seed uint64, build BuildOptions) (*metrics.Summary, error) {
+	build.Seed = seed
+	sys, err := Build(kind, setup, build)
+	if err != nil {
+		return nil, err
+	}
+	// Each system gets private request copies: runs must not share state.
+	cp := make([]*request.Request, len(reqs))
+	for i, r := range reqs {
+		c := request.New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
+		cp[i] = c
+	}
+	res, err := sim.Run(sys, cp, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Summary, nil
+}
+
+// mixedTrace synthesizes the default real-shape trace at meanRPS with the
+// given mix and SLO scale.
+func mixedTrace(setup ModelSetup, mix workload.Mix, sloScale, meanRPS, duration float64, seed uint64) ([]*request.Request, error) {
+	gen, err := NewGenerator(setup, mix, sloScale, mathutil.Hash2(seed, 0x77a1))
+	if err != nil {
+		return nil, err
+	}
+	ts := workload.RealTrace(mathutil.NewRNG(mathutil.Hash2(seed, 0x7071)), meanRPS, duration)
+	return gen.FromTimestamps(ts), nil
+}
+
+// RPSSweepsForSetup returns the paper's RPS sweep for a setup (Figure 8's
+// x-axes: 2.6–4.8 for Llama-70B, 2.4–4.2 for Qwen-32B).
+func RPSSweepsForSetup(setup ModelSetup) []float64 {
+	if strings.Contains(setup.Name, "Qwen") {
+		return []float64{2.4, 2.8, 3.2, 3.6, 4.0, 4.2}
+	}
+	return []float64{2.6, 3.0, 3.4, 3.8, 4.2, 4.6, 4.8}
+}
+
+// Figure8and9 sweeps request rate and reports SLO attainment (Fig. 8) and
+// goodput (Fig. 9) for every system; Figure 12's mean-accepted-tokens series
+// comes from the same runs.
+func Figure8and9(setup ModelSetup, opts RunOptions) ([]Point, error) {
+	opts.fill()
+	var pts []Point
+	for _, rps := range RPSSweepsForSetup(setup) {
+		reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, rps, opts.Duration, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range opts.Systems {
+			sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("fig8/9 %s rps=%.1f: %w", kind, rps, err)
+			}
+			pts = append(pts, Point{System: kind, X: rps, Label: "rps", Sum: sum})
+		}
+	}
+	return pts, nil
+}
+
+// Figure10 fixes RPS at 4.0 and sweeps the urgent-request proportion
+// (30–90%), reporting attainment and goodput.
+func Figure10(setup ModelSetup, opts RunOptions) ([]Point, error) {
+	opts.fill()
+	var pts []Point
+	for _, urgent := range []float64{0.3, 0.5, 0.7, 0.9} {
+		reqs, err := mixedTrace(setup, workload.UrgentMix(urgent), 1.0, 4.0, opts.Duration, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range opts.Systems {
+			sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s urgent=%.0f%%: %w", kind, 100*urgent, err)
+			}
+			pts = append(pts, Point{System: kind, X: urgent, Label: "urgent", Sum: sum})
+		}
+	}
+	return pts, nil
+}
+
+// Figure11 fixes RPS at 4.0 with 60% urgent requests and sweeps the SLO
+// scale of the most urgent category from 1.6 down to 0.6.
+func Figure11(setup ModelSetup, opts RunOptions) ([]Point, error) {
+	opts.fill()
+	var pts []Point
+	for _, scale := range []float64{1.6, 1.4, 1.2, 1.0, 0.8, 0.6} {
+		reqs, err := mixedTrace(setup, workload.UrgentMix(0.6), scale, 4.0, opts.Duration, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range opts.Systems {
+			sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s scale=%.1f: %w", kind, scale, err)
+			}
+			pts = append(pts, Point{System: kind, X: scale, Label: "slo-scale", Sum: sum})
+		}
+	}
+	return pts, nil
+}
+
+// Figure12Systems are the speculation systems whose acceptance Figure 12
+// compares.
+func Figure12Systems() []SystemKind {
+	return []SystemKind{SysAdaServe, SysVLLMSpec4, SysVLLMSpec6, SysVLLMSpec8}
+}
+
+// Figure12 reports mean accepted tokens per request per verification step
+// across the RPS sweep (reuses Figure 8's configuration, speculative
+// systems only).
+func Figure12(setup ModelSetup, opts RunOptions) ([]Point, error) {
+	opts.fill()
+	opts.Systems = Figure12Systems()
+	return Figure8and9(setup, opts)
+}
+
+// Figure1 reproduces the motivating study: per-token latency of five
+// baseline systems on a two-SLO workload (categories 1 and 2 only), with the
+// SLO-violation percentage annotated per system and category.
+func Figure1(setup ModelSetup, opts RunOptions) ([]Point, error) {
+	opts.fill()
+	if opts.Systems == nil {
+		opts.Systems = Figure1Systems()
+	}
+	mix := workload.Mix{0.5, 0.5, 0}
+	reqs, err := mixedTrace(setup, mix, 1.0, 3.0, opts.Duration, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for _, kind := range Figure1Systems() {
+		sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", kind, err)
+		}
+		pts = append(pts, Point{System: kind, X: 0, Label: "fig1", Sum: sum})
+	}
+	return pts, nil
+}
+
+// Figure13and14 replays the synthetic trace whose categories peak at
+// different times (Fig. 13) and reports each system's SLO attainment under
+// it (Fig. 14).
+func Figure13and14(setup ModelSetup, opts RunOptions) ([]Point, error) {
+	opts.fill()
+	gen, err := NewGenerator(setup, workload.DefaultMix, 1.0, mathutil.Hash2(opts.Seed, 0x1314))
+	if err != nil {
+		return nil, err
+	}
+	perCat := workload.SyntheticCategoryTrace(
+		mathutil.NewRNG(mathutil.Hash2(opts.Seed, 0x13)), 4.0, opts.Duration)
+	reqs := gen.FromCategoryTimestamps(perCat)
+	var pts []Point
+	for _, kind := range opts.Systems {
+		sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s: %w", kind, err)
+		}
+		pts = append(pts, Point{System: kind, X: 0, Label: "synthetic", Sum: sum})
+	}
+	return pts, nil
+}
+
+// Figure15 reports AdaServe's serving-time breakdown (scheduling vs
+// speculation vs verification) at a fixed moderate load.
+func Figure15(setup ModelSetup, opts RunOptions) (*metrics.Summary, error) {
+	opts.fill()
+	reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, 3.4, opts.Duration, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return runOne(SysAdaServe, setup, reqs, opts.Seed, BuildOptions{})
+}
+
+// RenderSeries formats sweep points as an aligned text table with one row
+// per x value and one column per system, using the given metric extractor.
+func RenderSeries(pts []Point, xName, metric string, f func(*metrics.Summary) float64) string {
+	systems := make([]SystemKind, 0)
+	seen := map[SystemKind]bool{}
+	xs := make([]float64, 0)
+	seenX := map[float64]bool{}
+	for _, p := range pts {
+		if !seen[p.System] {
+			seen[p.System] = true
+			systems = append(systems, p.System)
+		}
+		if !seenX[p.X] {
+			seenX[p.X] = true
+			xs = append(xs, p.X)
+		}
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", xName)
+	for _, s := range systems {
+		fmt.Fprintf(&b, "%18s", s)
+	}
+	fmt.Fprintf(&b, "   [%s]\n", metric)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-10.2f", x)
+		for _, s := range systems {
+			val := ""
+			for _, p := range pts {
+				if p.System == s && p.X == x {
+					val = fmt.Sprintf("%.2f", f(p.Sum))
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%18s", val)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adaserve/internal/gpu"
+)
+
+func TestHardwareSensitivity(t *testing.T) {
+	rows, err := HardwareSensitivity(Llama70B(), []gpu.Hardware{gpu.A100, gpu.H100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var a100, h100 *HardwareRow
+	for i := range rows {
+		switch {
+		case strings.Contains(rows[i].Hardware, "A100"):
+			a100 = &rows[i]
+		case strings.Contains(rows[i].Hardware, "H100"):
+			h100 = &rows[i]
+		}
+	}
+	// H100's higher bandwidth drops the baseline; its higher FLOPs-to-
+	// bandwidth ratio pushes the knee (and so the budget) outward — the
+	// hardware-awareness the paper motivates.
+	if h100.Baseline >= a100.Baseline {
+		t.Fatalf("H100 baseline %.1fms not below A100 %.1fms",
+			1e3*h100.Baseline, 1e3*a100.Baseline)
+	}
+	if h100.Knee <= a100.Knee {
+		t.Fatalf("H100 knee %d not beyond A100 knee %d", h100.Knee, a100.Knee)
+	}
+	if h100.Budget <= a100.Budget {
+		t.Fatalf("H100 budget %d not beyond A100 budget %d", h100.Budget, a100.Budget)
+	}
+}
+
+func TestHardwareSensitivitySkipsUnfitPlatforms(t *testing.T) {
+	// 70B at TP=4 does not fit 4 L4s (24GB each): the row is skipped, and
+	// with only unfit platforms the call errors.
+	if _, err := HardwareSensitivity(Llama70B(), []gpu.Hardware{gpu.L4}); err == nil {
+		t.Fatal("L4-only platform list should error for a 70B model")
+	}
+	rows, err := HardwareSensitivity(Llama70B(), []gpu.Hardware{gpu.L4, gpu.A100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0].Hardware, "A100") {
+		t.Fatalf("rows %+v", rows)
+	}
+}
+
+func TestRenderHardware(t *testing.T) {
+	rows, err := HardwareSensitivity(Qwen32B(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderHardware(Qwen32B(), rows)
+	if !strings.Contains(out, "A100") || !strings.Contains(out, "budget") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,212 @@
+// Package experiments assembles full serving configurations (Table 1) and
+// provides one driver per table/figure of the paper's evaluation, each
+// returning the rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"adaserve/internal/core"
+	"adaserve/internal/engine"
+	"adaserve/internal/gpu"
+	"adaserve/internal/kvcache"
+	"adaserve/internal/lm"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/sched"
+	"adaserve/internal/workload"
+)
+
+// ModelSetup is one row of Table 1: a target model, its tensor parallelism,
+// the paired draft model, and the synthetic-LM parameters calibrated for it.
+type ModelSetup struct {
+	Name     string
+	Target   gpu.ModelSpec
+	TargetTP int
+	Draft    gpu.ModelSpec
+	HW       gpu.Hardware
+
+	// Alpha is the draft/target alignment (calibrated so mean accepted
+	// tokens per step land in the paper's Figure 12 range).
+	Alpha float64
+	// Vocab, Branch, Sharpness, Tail parameterize the synthetic LM.
+	Vocab     int
+	Branch    int
+	Sharpness float64
+	Tail      float64
+}
+
+// Llama70B returns the Llama-3.1-70B-Instruct setup: 4-way TP on 4xA100,
+// drafted by Llama-3.2-1B (Table 1, row 1).
+func Llama70B() ModelSetup {
+	return ModelSetup{
+		Name:   "Llama-3.1-70B-Instruct",
+		Target: gpu.Llama70B, TargetTP: 4,
+		Draft: gpu.Llama1B, HW: gpu.A100,
+		Alpha: 0.88, Vocab: 4096, Branch: 16, Sharpness: 3.2, Tail: 0.02,
+	}
+}
+
+// Qwen32B returns the Qwen2.5-32B-Instruct setup: 2-way TP on 2xA100,
+// drafted by Qwen2.5-0.5B (Table 1, row 2).
+func Qwen32B() ModelSetup {
+	return ModelSetup{
+		Name:   "Qwen2.5-32B-Instruct",
+		Target: gpu.Qwen32B, TargetTP: 2,
+		Draft: gpu.Qwen05B, HW: gpu.A100,
+		// The 0.5B Qwen draft is weaker relative to its 32B target than the
+		// 1B Llama draft is to the 70B.
+		Alpha: 0.84, Vocab: 4096, Branch: 16, Sharpness: 3.0, Tail: 0.02,
+	}
+}
+
+// Setups returns both Table 1 rows.
+func Setups() []ModelSetup { return []ModelSetup{Llama70B(), Qwen32B()} }
+
+// BaselineLatency returns the setup's unloaded per-token decode latency at a
+// 512-token reference context: the paper's baseline for category-1 SLOs.
+func (m ModelSetup) BaselineLatency() float64 {
+	cm := gpu.MustCostModel(m.HW, m.Target, m.TargetTP)
+	return cm.BaselineLatency(512)
+}
+
+// SystemKind names a serving system configuration.
+type SystemKind string
+
+// The systems of the evaluation.
+const (
+	SysAdaServe     SystemKind = "AdaServe"
+	SysVLLM         SystemKind = "vLLM"
+	SysVLLMPriority SystemKind = "vLLM + Priority"
+	SysSarathi      SystemKind = "Sarathi-Serve"
+	SysVLLMSpec4    SystemKind = "vLLM-Spec (4)"
+	SysVLLMSpec6    SystemKind = "vLLM-Spec (6)"
+	SysVLLMSpec8    SystemKind = "vLLM-Spec (8)"
+	SysFastServe    SystemKind = "FastServe"
+	SysVTC          SystemKind = "VTC"
+	// SysAdaServeInterleaved is the Challenge-2 ablation: Algorithm 1 run
+	// directly with interleaved GetTop + draft decoding ((B−n) serial draft
+	// steps per iteration) instead of the decoupled speculate-select
+	// pipeline.
+	SysAdaServeInterleaved SystemKind = "AdaServe (interleaved)"
+)
+
+// EndToEndSystems are the systems of Figures 8-12 and 14.
+func EndToEndSystems() []SystemKind {
+	return []SystemKind{SysAdaServe, SysSarathi, SysVLLM, SysVLLMSpec4, SysVLLMSpec6, SysVLLMSpec8}
+}
+
+// Figure1Systems are the systems of the motivating Figure 1.
+func Figure1Systems() []SystemKind {
+	return []SystemKind{SysVLLM, SysSarathi, SysVLLMPriority, SysFastServe, SysVTC}
+}
+
+// BuildOptions tunes system construction.
+type BuildOptions struct {
+	// Seed differentiates runs; it drives the engine's verification RNG.
+	Seed uint64
+	// Rule selects the verification acceptance rule (default stochastic).
+	Rule lm.VerifyRule
+	// MaxBatch overrides the running-sequence cap (default 256).
+	MaxBatch int
+	// AdaServe overrides AdaServe's options.
+	AdaServe sched.AdaServeOptions
+	// StaticController forces AdaServe to fixed (d,w) (ablation) when both
+	// are > 0.
+	StaticD, StaticW int
+	// DisableNMax removes AdaServe's per-request selection cap (ablation).
+	DisableNMax bool
+	// DisableCUDAGraphs turns off graph-replay amortization (ablation).
+	DisableCUDAGraphs bool
+}
+
+// Build assembles a ready-to-run serving system of the given kind on the
+// given model setup.
+func Build(kind SystemKind, setup ModelSetup, opts BuildOptions) (sched.System, error) {
+	target := lm.MustSyntheticLM(setup.Target.Name, mathutil.Hash2(opts.Seed, 0x7a26e7), setup.Vocab, setup.Branch, setup.Sharpness, setup.Tail)
+	draft := lm.MustDraftLM(setup.Draft.Name, target, setup.Alpha, mathutil.Hash2(opts.Seed, 0xd12af7))
+
+	targetCost, err := gpu.NewCostModel(setup.HW, setup.Target, setup.TargetTP)
+	if err != nil {
+		return nil, err
+	}
+	draftCost, err := gpu.NewCostModel(setup.HW, setup.Draft, 1)
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableCUDAGraphs {
+		targetCost.UseCUDAGraphs = false
+		draftCost.UseCUDAGraphs = false
+	}
+
+	eng, err := engine.New(engine.Config{
+		Target: target, Draft: draft,
+		TargetCost: targetCost, DraftCost: draftCost,
+		Rule: opts.Rule, Seed: mathutil.Hash2(opts.Seed, 0xe0617e),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	kvTokens := targetCost.KVCapacityTokens(0.10)
+	kv := kvcache.MustNew(kvcache.ConfigForTokens(kvTokens, 16))
+
+	maxBatch := opts.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = 256
+	}
+	cfg := sched.Config{
+		Engine: eng, KV: kv,
+		MaxBatch:         maxBatch,
+		MaxPrefillTokens: 2048,
+		SchedOverhead:    30e-6,
+	}
+
+	switch kind {
+	case SysAdaServe:
+		aopts := opts.AdaServe
+		if opts.StaticD > 0 && opts.StaticW > 0 {
+			c := core.StaticController(opts.StaticD, opts.StaticW)
+			aopts.Controller = &c
+		}
+		if opts.DisableNMax {
+			aopts.NMax = -1
+		}
+		return sched.NewAdaServe(cfg, aopts)
+	case SysVLLM:
+		return sched.NewVLLM(cfg)
+	case SysVLLMPriority:
+		v, err := sched.NewVLLM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		v.PriorityAware = true
+		return v, nil
+	case SysSarathi:
+		return sched.NewSarathi(cfg, 0)
+	case SysVLLMSpec4:
+		return sched.NewVLLMSpec(cfg, 4)
+	case SysVLLMSpec6:
+		return sched.NewVLLMSpec(cfg, 6)
+	case SysVLLMSpec8:
+		return sched.NewVLLMSpec(cfg, 8)
+	case SysFastServe:
+		return sched.NewFastServe(cfg)
+	case SysVTC:
+		return sched.NewVTC(cfg)
+	case SysAdaServeInterleaved:
+		return sched.NewAdaServeInterleaved(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", kind)
+	}
+}
+
+// NewGenerator builds the workload generator for a setup with the given mix
+// and SLO scale.
+func NewGenerator(setup ModelSetup, mix workload.Mix, sloScale float64, seed uint64) (*workload.Generator, error) {
+	return workload.NewGenerator(workload.GeneratorConfig{
+		Seed:            seed,
+		Mix:             mix,
+		BaselineLatency: setup.BaselineLatency(),
+		SLOScale:        sloScale,
+	})
+}

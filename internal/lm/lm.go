@@ -1,0 +1,338 @@
+// Package lm provides the synthetic language models the simulator serves.
+//
+// A real serving system observes its LLM through exactly two channels: the
+// cost of a forward pass (modeled in internal/gpu) and the token-level
+// accept/reject behaviour during speculative verification. This package
+// reproduces the second channel with a deterministic, seedable synthetic
+// autoregressive model:
+//
+//   - The target model assigns every context a next-token distribution
+//     derived from a hash of the recent tokens, with Zipf-shaped mass over a
+//     small candidate set (real LLM next-token distributions are similarly
+//     concentrated).
+//   - The draft model is an alpha-mixture of the target distribution and an
+//     independent "mistake" distribution, so draft/target alignment — the
+//     single statistic that governs speculation acceptance rates — is a
+//     tunable scalar calibrated against the paper's Figure 12.
+//
+// Everything is deterministic given (model seed, request seed, context), so
+// experiments replay exactly.
+package lm
+
+import (
+	"fmt"
+	"sort"
+
+	"adaserve/internal/mathutil"
+)
+
+// Token is a vocabulary item. Valid tokens are in [0, VocabSize).
+type Token int32
+
+// TokenProb pairs a token with its probability under some distribution.
+type TokenProb struct {
+	Token Token
+	Prob  float64
+}
+
+// Dist is a truncated next-token distribution: explicit probabilities for a
+// small candidate set plus Tail mass smeared uniformly over the rest of the
+// vocabulary. Entries are sorted by descending probability.
+type Dist struct {
+	Entries []TokenProb
+	// Tail is the probability mass not covered by Entries.
+	Tail float64
+	// Vocab is the vocabulary size (for tail token sampling).
+	Vocab int
+}
+
+// Validate checks that the distribution is normalized and sorted.
+func (d Dist) Validate() error {
+	var s float64
+	prev := 1.1
+	for _, e := range d.Entries {
+		if e.Prob < 0 {
+			return fmt.Errorf("lm: negative probability %g", e.Prob)
+		}
+		if e.Prob > prev+1e-12 {
+			return fmt.Errorf("lm: entries not sorted descending")
+		}
+		prev = e.Prob
+		s += e.Prob
+	}
+	s += d.Tail
+	if s < 0.999 || s > 1.001 {
+		return fmt.Errorf("lm: distribution sums to %g", s)
+	}
+	return nil
+}
+
+// Prob returns the probability of tok under d.
+func (d Dist) Prob(tok Token) float64 {
+	for _, e := range d.Entries {
+		if e.Token == tok {
+			return e.Prob
+		}
+	}
+	if d.Vocab <= len(d.Entries) {
+		return 0
+	}
+	return d.Tail / float64(d.Vocab-len(d.Entries))
+}
+
+// TopK returns up to k highest-probability entries.
+func (d Dist) TopK(k int) []TokenProb {
+	if k > len(d.Entries) {
+		k = len(d.Entries)
+	}
+	out := make([]TokenProb, k)
+	copy(out, d.Entries[:k])
+	return out
+}
+
+// Argmax returns the most likely token.
+func (d Dist) Argmax() Token {
+	if len(d.Entries) == 0 {
+		return 0
+	}
+	return d.Entries[0].Token
+}
+
+// Sample draws a token from d using rng.
+func (d Dist) Sample(rng *mathutil.RNG) Token {
+	u := rng.Float64()
+	var acc float64
+	for _, e := range d.Entries {
+		acc += e.Prob
+		if u < acc {
+			return e.Token
+		}
+	}
+	// Tail: uniform over non-candidate tokens; approximate by hashing.
+	if d.Vocab > 0 {
+		return Token(rng.Intn(d.Vocab))
+	}
+	return d.Entries[len(d.Entries)-1].Token
+}
+
+// Context identifies a decoding position: the request's own seed (so two
+// requests with identical recent tokens still have independent text) plus
+// the recent token history.
+type Context struct {
+	ReqSeed uint64
+	// Hist is the full generated history; only the last HistoryWindow tokens
+	// influence the distribution (an order-n Markov approximation).
+	Hist []Token
+}
+
+// HistoryWindow is how many trailing tokens condition the next-token
+// distribution.
+const HistoryWindow = 4
+
+// hash folds the request seed and trailing window into one 64-bit value.
+func (c Context) hash(salt uint64) uint64 {
+	h := mathutil.Hash2(c.ReqSeed, salt)
+	start := len(c.Hist) - HistoryWindow
+	if start < 0 {
+		start = 0
+	}
+	for _, t := range c.Hist[start:] {
+		h = mathutil.Hash2(h, uint64(t)+0x1000)
+	}
+	return h
+}
+
+// Extend returns a context with one more history token appended. The
+// underlying slice is copied only when needed by the caller; Extend always
+// copies to keep contexts immutable under tree exploration.
+func (c Context) Extend(tok Token) Context {
+	h := make([]Token, len(c.Hist)+1)
+	copy(h, c.Hist)
+	h[len(c.Hist)] = tok
+	return Context{ReqSeed: c.ReqSeed, Hist: h}
+}
+
+// Model is a synthetic autoregressive language model.
+type Model interface {
+	// Dist returns the next-token distribution for ctx.
+	Dist(ctx Context) Dist
+	// Vocab returns the vocabulary size.
+	Vocab() int
+	// Name identifies the model in logs and metrics.
+	Name() string
+}
+
+// SyntheticLM is the target ("large") model.
+type SyntheticLM struct {
+	name string
+	seed uint64
+	// vocab is the vocabulary size.
+	vocab int
+	// branch is the candidate-set size per context.
+	branch int
+	// weights are the Zipf weights shared by every context (the permutation
+	// of which tokens get them is context-dependent).
+	weights []float64
+	// tail is the mass reserved outside the candidate set.
+	tail float64
+}
+
+// NewSyntheticLM constructs a target model.
+//
+//   - vocab: vocabulary size (e.g. 4096; the serving layer never enumerates it).
+//   - branch: candidate tokens per context (e.g. 16).
+//   - sharpness: Zipf exponent; higher concentrates mass on the top token.
+//     sharpness ≈ 1.6 yields top-1 probability ≈ 0.6, typical of instruct
+//     LLMs under greedy-ish sampling.
+//   - tail: probability mass outside the candidate set (e.g. 0.02).
+func NewSyntheticLM(name string, seed uint64, vocab, branch int, sharpness, tail float64) (*SyntheticLM, error) {
+	if vocab < 2 || branch < 1 || branch > vocab {
+		return nil, fmt.Errorf("lm: bad vocab/branch %d/%d", vocab, branch)
+	}
+	if tail < 0 || tail >= 1 {
+		return nil, fmt.Errorf("lm: tail %g out of [0,1)", tail)
+	}
+	w := mathutil.ZipfWeights(branch, sharpness)
+	for i := range w {
+		w[i] *= 1 - tail
+	}
+	return &SyntheticLM{name: name, seed: seed, vocab: vocab, branch: branch, weights: w, tail: tail}, nil
+}
+
+// MustSyntheticLM panics on construction error; for fixed experiment setups.
+func MustSyntheticLM(name string, seed uint64, vocab, branch int, sharpness, tail float64) *SyntheticLM {
+	m, err := NewSyntheticLM(name, seed, vocab, branch, sharpness, tail)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *SyntheticLM) Name() string { return m.name }
+
+// Vocab implements Model.
+func (m *SyntheticLM) Vocab() int { return m.vocab }
+
+// Dist implements Model: candidate tokens are chosen by hashing the context;
+// Zipf weights are assigned in hash order so the distribution is a
+// deterministic function of (model seed, request seed, history window).
+func (m *SyntheticLM) Dist(ctx Context) Dist {
+	h := ctx.hash(m.seed)
+	entries := make([]TokenProb, 0, m.branch)
+	seen := make(map[Token]struct{}, m.branch)
+	x := h
+	for len(entries) < m.branch {
+		x = mathutil.SplitMix64(x)
+		tok := Token(x % uint64(m.vocab))
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		entries = append(entries, TokenProb{Token: tok, Prob: m.weights[len(entries)]})
+	}
+	return Dist{Entries: entries, Tail: m.tail, Vocab: m.vocab}
+}
+
+// DraftLM approximates a target model with tunable alignment, mimicking a
+// small same-family (or distilled) draft model.
+//
+// Real drafts agree with their targets on "easy" tokens and are confidently
+// wrong on hard ones; uniform smoothing cannot express that (it never
+// changes the argmax, making greedy chains accept with probability ~1).
+// DraftLM therefore models alignment per context:
+//
+//   - with probability alpha (hash-determined per context), the draft's
+//     distribution equals the target's — its proposals verify with
+//     probability ≈ 1;
+//   - otherwise the draft is mistaken: its top-ranked token is swapped with
+//     a lower-ranked one, so its argmax carries high draft confidence but
+//     low target probability (rejected most of the time), while the
+//     target's true argmax hides at a lower draft rank — the case where
+//     tree speculation recovers and sequence speculation stalls.
+//
+// alpha = 1 is a perfect draft; alpha = 0 disagrees everywhere.
+type DraftLM struct {
+	name   string
+	target *SyntheticLM
+	alpha  float64
+	seed   uint64
+}
+
+// NewDraftLM builds a draft for target with the given per-context agreement
+// rate alpha in [0, 1]. seed controls which contexts the draft gets wrong.
+func NewDraftLM(name string, target *SyntheticLM, alpha float64, seed uint64) (*DraftLM, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("lm: alpha %g out of [0,1]", alpha)
+	}
+	return &DraftLM{name: name, target: target, alpha: alpha, seed: seed}, nil
+}
+
+// MustDraftLM panics on construction error.
+func MustDraftLM(name string, target *SyntheticLM, alpha float64, seed uint64) *DraftLM {
+	d, err := NewDraftLM(name, target, alpha, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements Model.
+func (d *DraftLM) Name() string { return d.name }
+
+// Vocab implements Model.
+func (d *DraftLM) Vocab() int { return d.target.vocab }
+
+// Alpha returns the draft/target per-context agreement rate.
+func (d *DraftLM) Alpha() float64 { return d.alpha }
+
+// Dist implements Model.
+func (d *DraftLM) Dist(ctx Context) Dist {
+	p := d.target.Dist(ctx)
+	h := ctx.hash(d.seed)
+	u := float64(h>>11) / (1 << 53)
+	if u < d.alpha || len(p.Entries) < 2 {
+		return p
+	}
+	// Mistaken context: swap the top token's probability with that of a
+	// lower-ranked candidate (rank drawn from the context hash, biased
+	// toward nearby ranks — distilled drafts are near-misses far more often
+	// than wildly wrong, which is what makes width-w tree speculation able
+	// to recover where sequence speculation stalls).
+	entries := make([]TokenProb, len(p.Entries))
+	copy(entries, p.Entries)
+	j := disagreeRank(mathutil.SplitMix64(h), len(entries)-1)
+	entries[0].Prob, entries[j].Prob = entries[j].Prob, entries[0].Prob
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].Prob != entries[b].Prob {
+			return entries[a].Prob > entries[b].Prob
+		}
+		return entries[a].Token < entries[b].Token
+	})
+	return Dist{Entries: entries, Tail: p.Tail, Vocab: p.Vocab}
+}
+
+// disagreeRank draws the target rank a mistaken draft confuses with the top:
+// rank 1 (the runner-up) 55% of the time, rank 2 25%, rank 3 10%, deeper
+// ranks the remainder — matching how distilled drafts err.
+func disagreeRank(h uint64, maxRank int) int {
+	if maxRank < 1 {
+		return 1
+	}
+	r := int(h % 100)
+	var j int
+	switch {
+	case r < 55:
+		j = 1
+	case r < 80:
+		j = 2
+	case r < 90:
+		j = 3
+	default:
+		j = 4 + int(mathutil.SplitMix64(h+1)%3)
+	}
+	if j > maxRank {
+		j = maxRank
+	}
+	return j
+}

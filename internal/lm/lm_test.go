@@ -1,0 +1,295 @@
+package lm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adaserve/internal/mathutil"
+)
+
+func newTarget(t *testing.T) *SyntheticLM {
+	t.Helper()
+	return MustSyntheticLM("target", 1, 4096, 16, 3.2, 0.02)
+}
+
+func TestSyntheticLMConstruction(t *testing.T) {
+	cases := []struct {
+		vocab, branch   int
+		sharpness, tail float64
+		ok              bool
+	}{
+		{4096, 16, 1.6, 0.02, true},
+		{1, 1, 1, 0, false},       // vocab too small
+		{16, 32, 1, 0, false},     // branch > vocab
+		{4096, 16, 1, 1.0, false}, // tail = 1
+		{4096, 16, 1, -0.1, false},
+		{4096, 16, 0, 0, true}, // uniform is allowed
+	}
+	for _, c := range cases {
+		_, err := NewSyntheticLM("m", 1, c.vocab, c.branch, c.sharpness, c.tail)
+		if (err == nil) != c.ok {
+			t.Errorf("NewSyntheticLM(%+v): err=%v", c, err)
+		}
+	}
+}
+
+func TestDistNormalized(t *testing.T) {
+	m := newTarget(t)
+	for i := uint64(0); i < 50; i++ {
+		d := m.Dist(Context{ReqSeed: i})
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+	}
+}
+
+func TestDistDeterministic(t *testing.T) {
+	m := newTarget(t)
+	ctx := Context{ReqSeed: 7, Hist: []Token{1, 2, 3}}
+	a := m.Dist(ctx)
+	b := m.Dist(ctx)
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestDistDependsOnContext(t *testing.T) {
+	m := newTarget(t)
+	a := m.Dist(Context{ReqSeed: 7, Hist: []Token{1, 2, 3}})
+	b := m.Dist(Context{ReqSeed: 7, Hist: []Token{1, 2, 4}})
+	if a.Argmax() == b.Argmax() {
+		// Possible by chance; require at least the candidate sets differ.
+		same := true
+		for i := range a.Entries {
+			if a.Entries[i].Token != b.Entries[i].Token {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different contexts produced identical candidate sets")
+		}
+	}
+}
+
+func TestDistDependsOnSeed(t *testing.T) {
+	m := newTarget(t)
+	a := m.Dist(Context{ReqSeed: 1})
+	b := m.Dist(Context{ReqSeed: 2})
+	if a.Argmax() == b.Argmax() && a.Entries[1].Token == b.Entries[1].Token {
+		t.Fatal("different request seeds produced identical top entries")
+	}
+}
+
+func TestHistoryWindowLimits(t *testing.T) {
+	m := newTarget(t)
+	long := make([]Token, 64)
+	for i := range long {
+		long[i] = Token(i)
+	}
+	a := m.Dist(Context{ReqSeed: 5, Hist: long})
+	// Changing a token OUTSIDE the window must not change the distribution.
+	long2 := append([]Token(nil), long...)
+	long2[0] = 999
+	b := m.Dist(Context{ReqSeed: 5, Hist: long2})
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("token outside history window changed the distribution")
+		}
+	}
+	// Changing a token INSIDE the window must change it.
+	long3 := append([]Token(nil), long...)
+	long3[len(long3)-1] = 999
+	c := m.Dist(Context{ReqSeed: 5, Hist: long3})
+	if a.Argmax() == c.Argmax() && a.Entries[1].Token == c.Entries[1].Token {
+		t.Fatal("token inside history window did not change the distribution")
+	}
+}
+
+func TestDistProbAndTopK(t *testing.T) {
+	m := newTarget(t)
+	d := m.Dist(Context{ReqSeed: 3})
+	top := d.TopK(4)
+	if len(top) != 4 {
+		t.Fatalf("TopK(4) returned %d entries", len(top))
+	}
+	if top[0].Token != d.Argmax() {
+		t.Fatal("TopK[0] != Argmax")
+	}
+	if got := d.Prob(top[0].Token); got != top[0].Prob {
+		t.Fatalf("Prob(top) = %g, want %g", got, top[0].Prob)
+	}
+	if d.TopK(100)[0] != top[0] {
+		t.Fatal("oversized TopK should clip")
+	}
+	// Tail token probability is tiny but nonzero.
+	var missing Token
+	for tok := Token(0); ; tok++ {
+		if d.Prob(tok) < 1e-4 {
+			missing = tok
+			break
+		}
+	}
+	if p := d.Prob(missing); p <= 0 || p > 1e-4 {
+		t.Fatalf("tail token prob %g", p)
+	}
+}
+
+func TestDistSampleMatchesProbabilities(t *testing.T) {
+	m := newTarget(t)
+	d := m.Dist(Context{ReqSeed: 11})
+	rng := mathutil.NewRNG(99)
+	counts := make(map[Token]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	top := d.Entries[0]
+	got := float64(counts[top.Token]) / n
+	if math.Abs(got-top.Prob) > 0.01 {
+		t.Fatalf("top token sampled %.3f, want %.3f", got, top.Prob)
+	}
+	second := d.Entries[1]
+	got2 := float64(counts[second.Token]) / n
+	if math.Abs(got2-second.Prob) > 0.01 {
+		t.Fatalf("second token sampled %.3f, want %.3f", got2, second.Prob)
+	}
+}
+
+func TestSharpnessControlsTopProbability(t *testing.T) {
+	soft := MustSyntheticLM("soft", 1, 4096, 16, 1.0, 0.02)
+	sharp := MustSyntheticLM("sharp", 1, 4096, 16, 3.2, 0.02)
+	var softTop, sharpTop float64
+	for i := uint64(0); i < 100; i++ {
+		softTop += soft.Dist(Context{ReqSeed: i}).Entries[0].Prob
+		sharpTop += sharp.Dist(Context{ReqSeed: i}).Entries[0].Prob
+	}
+	if sharpTop <= softTop {
+		t.Fatal("sharper model should concentrate more mass on the argmax")
+	}
+	if avg := sharpTop / 100; avg < 0.7 || avg > 0.95 {
+		t.Fatalf("sharp top-1 prob %.2f outside calibrated band [0.7,0.95]", avg)
+	}
+}
+
+func TestContextExtendImmutable(t *testing.T) {
+	ctx := Context{ReqSeed: 1, Hist: []Token{1, 2}}
+	ext := ctx.Extend(3)
+	if len(ctx.Hist) != 2 {
+		t.Fatal("Extend mutated the original context")
+	}
+	if len(ext.Hist) != 3 || ext.Hist[2] != 3 {
+		t.Fatalf("Extend result wrong: %v", ext.Hist)
+	}
+	// Extending the original again must not corrupt ext.
+	_ = ctx.Extend(9)
+	if ext.Hist[2] != 3 {
+		t.Fatal("sibling Extend corrupted earlier extension")
+	}
+}
+
+func TestDraftAlphaBounds(t *testing.T) {
+	target := newTarget(t)
+	if _, err := NewDraftLM("d", target, -0.1, 1); err == nil {
+		t.Error("alpha < 0 accepted")
+	}
+	if _, err := NewDraftLM("d", target, 1.1, 1); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := NewDraftLM("d", target, 0.5, 1); err != nil {
+		t.Errorf("alpha 0.5 rejected: %v", err)
+	}
+}
+
+func TestDraftPerfectAlignment(t *testing.T) {
+	target := newTarget(t)
+	draft := MustDraftLM("d", target, 1.0, 2)
+	for i := uint64(0); i < 20; i++ {
+		ctx := Context{ReqSeed: i}
+		p := target.Dist(ctx)
+		q := draft.Dist(ctx)
+		for j := range p.Entries {
+			if p.Entries[j] != q.Entries[j] {
+				t.Fatalf("alpha=1 draft differs from target at seed %d", i)
+			}
+		}
+	}
+}
+
+func TestDraftAgreementRate(t *testing.T) {
+	target := newTarget(t)
+	for _, alpha := range []float64{0.5, 0.8, 0.9} {
+		draft := MustDraftLM("d", target, alpha, 7)
+		agree := 0
+		const n = 5000
+		for i := uint64(0); i < n; i++ {
+			ctx := Context{ReqSeed: i}
+			if target.Dist(ctx).Argmax() == draft.Dist(ctx).Argmax() {
+				agree++
+			}
+		}
+		got := float64(agree) / n
+		if math.Abs(got-alpha) > 0.03 {
+			t.Errorf("alpha=%.1f: argmax agreement %.3f", alpha, got)
+		}
+	}
+}
+
+func TestDraftMistakesAreNearMisses(t *testing.T) {
+	target := newTarget(t)
+	draft := MustDraftLM("d", target, 0.0, 7) // disagree everywhere
+	nearMiss := 0
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		ctx := Context{ReqSeed: i}
+		p := target.Dist(ctx)
+		q := draft.Dist(ctx)
+		// The target's argmax should usually be within the draft's top 3.
+		for _, e := range q.TopK(3) {
+			if e.Token == p.Argmax() {
+				nearMiss++
+				break
+			}
+		}
+	}
+	if frac := float64(nearMiss) / n; frac < 0.70 {
+		t.Fatalf("target argmax within draft top-3 only %.2f of mistaken contexts", frac)
+	}
+}
+
+func TestDraftDistNormalized(t *testing.T) {
+	target := newTarget(t)
+	draft := MustDraftLM("d", target, 0.7, 3)
+	err := quick.Check(func(seed uint64, toks []uint8) bool {
+		hist := make([]Token, len(toks))
+		for i, b := range toks {
+			hist[i] = Token(b)
+		}
+		d := draft.Dist(Context{ReqSeed: seed, Hist: hist})
+		return d.Validate() == nil
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistValidateCatchesBadDists(t *testing.T) {
+	bad := Dist{Entries: []TokenProb{{Token: 1, Prob: 0.5}, {Token: 2, Prob: 0.6}}, Tail: 0, Vocab: 10}
+	if bad.Validate() == nil {
+		t.Error("unsorted dist validated")
+	}
+	bad2 := Dist{Entries: []TokenProb{{Token: 1, Prob: 0.5}}, Tail: 0, Vocab: 10}
+	if bad2.Validate() == nil {
+		t.Error("non-normalized dist validated")
+	}
+	bad3 := Dist{Entries: []TokenProb{{Token: 1, Prob: -0.5}, {Token: 2, Prob: 1.5}}, Tail: 0, Vocab: 10}
+	if bad3.Validate() == nil {
+		t.Error("negative prob validated")
+	}
+}

@@ -1,0 +1,192 @@
+package mathutil
+
+import (
+	"math"
+	"sort"
+)
+
+// Clip constrains x to the closed interval [lo, hi]. It panics if lo > hi.
+func Clip(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("mathutil: Clip with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClipInt constrains x to the closed interval [lo, hi]. It panics if lo > hi.
+func ClipInt(x, lo, hi int) int {
+	if lo > hi {
+		panic("mathutil: ClipInt with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Stddev returns the population standard deviation of xs, or 0 when
+// len(xs) < 2.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ZipfWeights returns k weights proportional to 1/(i+1)^s for i in [0,k),
+// normalized to sum to 1. It panics for k <= 0 or s < 0.
+func ZipfWeights(k int, s float64) []float64 {
+	if k <= 0 {
+		panic("mathutil: ZipfWeights with k <= 0")
+	}
+	if s < 0 {
+		panic("mathutil: ZipfWeights with s < 0")
+	}
+	w := make([]float64, k)
+	var total float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// Normalize rescales xs in place so it sums to 1. If the sum is zero the
+// slice becomes uniform. It returns the slice for convenience.
+func Normalize(xs []float64) []float64 {
+	s := Sum(xs)
+	if s <= 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+	return xs
+}
+
+// CumSum returns the cumulative sums of xs (same length).
+func CumSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var acc float64
+	for i, x := range xs {
+		acc += x
+		out[i] = acc
+	}
+	return out
+}
+
+// SampleDiscrete draws an index from the discrete distribution given by
+// weights (need not be normalized) using u in [0,1). It returns the last
+// index if rounding pushes u past the total.
+func SampleDiscrete(weights []float64, u float64) int {
+	total := Sum(weights)
+	if total <= 0 || len(weights) == 0 {
+		return 0
+	}
+	target := u * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,226 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClip(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clip(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clip(%g,%g,%g) = %g, want %g", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClipPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clip(0, 1, 0) did not panic")
+		}
+	}()
+	Clip(0, 1, 0)
+}
+
+func TestClipIntProperty(t *testing.T) {
+	err := quick.Check(func(x int16, a, b int16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := ClipInt(int(x), lo, hi)
+		return got >= lo && got <= hi
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %g, want 4", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Error("Stddev of singleton should be 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Stddev = %g, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Abs(math.Mod(a, 100))
+		pb := math.Abs(math.Mod(b, 100))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %g", Max(xs))
+	}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %g", Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("Max/Min of empty should be 0")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(5, 1.0)
+	if math.Abs(Sum(w)-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", Sum(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("weights not decreasing at %d: %v", i, w)
+		}
+	}
+	// s=0 gives uniform weights.
+	u := ZipfWeights(4, 0)
+	for _, x := range u {
+		if math.Abs(x-0.25) > 1e-9 {
+			t.Fatalf("s=0 not uniform: %v", u)
+		}
+	}
+}
+
+func TestZipfWeightsSharpness(t *testing.T) {
+	soft := ZipfWeights(16, 1.0)
+	sharp := ZipfWeights(16, 3.0)
+	if sharp[0] <= soft[0] {
+		t.Fatalf("higher exponent should concentrate mass: %g vs %g", sharp[0], soft[0])
+	}
+}
+
+func TestZipfWeightsPanics(t *testing.T) {
+	for _, bad := range []struct {
+		k int
+		s float64
+	}{{0, 1}, {-1, 1}, {3, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZipfWeights(%d,%g) did not panic", bad.k, bad.s)
+				}
+			}()
+			ZipfWeights(bad.k, bad.s)
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 6}
+	Normalize(xs)
+	if xs[0] != 0.25 || xs[1] != 0.75 {
+		t.Fatalf("Normalize = %v", xs)
+	}
+	zeros := []float64{0, 0, 0, 0}
+	Normalize(zeros)
+	for _, x := range zeros {
+		if math.Abs(x-0.25) > 1e-9 {
+			t.Fatalf("Normalize of zeros = %v", zeros)
+		}
+	}
+}
+
+func TestCumSum(t *testing.T) {
+	got := CumSum([]float64{1, 2, 3})
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CumSum = %v", got)
+		}
+	}
+}
+
+func TestSampleDiscrete(t *testing.T) {
+	w := []float64{0.5, 0.3, 0.2}
+	if SampleDiscrete(w, 0.0) != 0 {
+		t.Error("u=0 should pick index 0")
+	}
+	if SampleDiscrete(w, 0.6) != 1 {
+		t.Error("u=0.6 should pick index 1")
+	}
+	if SampleDiscrete(w, 0.99) != 2 {
+		t.Error("u=0.99 should pick index 2")
+	}
+	if SampleDiscrete(nil, 0.5) != 0 {
+		t.Error("empty weights should return 0")
+	}
+}
+
+func TestSampleDiscreteDistribution(t *testing.T) {
+	w := []float64{1, 3}
+	r := NewRNG(29)
+	counts := [2]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[SampleDiscrete(w, r.Float64())]++
+	}
+	frac := float64(counts[1]) / n
+	if frac < 0.74 || frac > 0.76 {
+		t.Fatalf("weight-3 index drawn %.3f of the time, want ~0.75", frac)
+	}
+}

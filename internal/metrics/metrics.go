@@ -1,0 +1,217 @@
+// Package metrics computes the paper's evaluation metrics from finished
+// requests: SLO attainment, goodput, violation counts, mean accepted tokens
+// per verification step, TPOT percentiles, and the Figure 15 latency
+// breakdown.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adaserve/internal/mathutil"
+	"adaserve/internal/request"
+)
+
+// Breakdown splits a run's serving time by phase (Figure 15).
+type Breakdown struct {
+	// Scheduling is CPU time spent in selection/scheduling.
+	Scheduling float64
+	// Speculation is GPU time in draft-model decoding.
+	Speculation float64
+	// Verification is GPU time in target verification/decode.
+	Verification float64
+	// Prefill is GPU time prefilling prompts.
+	Prefill float64
+}
+
+// Total returns the summed serving time.
+func (b Breakdown) Total() float64 {
+	return b.Scheduling + b.Speculation + b.Verification + b.Prefill
+}
+
+// SchedulingShare returns scheduling's fraction of total serving time.
+func (b Breakdown) SchedulingShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Scheduling / t
+}
+
+// CategoryStats summarizes one request category.
+type CategoryStats struct {
+	Category   request.Category
+	Requests   int
+	Attained   int
+	Violations int
+	// MeanTPOT is the average per-token latency across requests, seconds.
+	MeanTPOT float64
+	// P99TPOT is the 99th-percentile per-request average TPOT.
+	P99TPOT float64
+	// Goodput is output tokens/second from SLO-attaining requests.
+	Goodput float64
+}
+
+// Attainment returns the category's SLO attainment fraction.
+func (c CategoryStats) Attainment() float64 {
+	if c.Requests == 0 {
+		return 0
+	}
+	return float64(c.Attained) / float64(c.Requests)
+}
+
+// Summary aggregates a full run.
+type Summary struct {
+	System   string
+	Requests int
+	Finished int
+	Attained int
+
+	// Duration is the wall-clock span from first arrival to last completion.
+	Duration float64
+	// Goodput is output tokens/second counting only SLO-attaining requests.
+	Goodput float64
+	// Throughput is output tokens/second counting all requests.
+	Throughput float64
+	// MeanAcceptedPerStep is committed tokens per verification step per
+	// request (Figure 12's metric).
+	MeanAcceptedPerStep float64
+	// MeanTTFT is the average time-to-first-token.
+	MeanTTFT float64
+	// TPOTs holds each finished request's average per-token latency.
+	TPOTs []float64
+
+	PerCategory map[request.Category]*CategoryStats
+	Breakdown   Breakdown
+}
+
+// Attainment returns the overall SLO attainment fraction.
+func (s *Summary) Attainment() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Attained) / float64(s.Requests)
+}
+
+// ViolationRate returns 1 − attainment.
+func (s *Summary) ViolationRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return 1 - s.Attainment()
+}
+
+// Violations returns the number of requests that missed their SLO
+// (unfinished requests count as violations).
+func (s *Summary) Violations() int { return s.Requests - s.Attained }
+
+// P50TPOT returns the median per-request average TPOT.
+func (s *Summary) P50TPOT() float64 { return mathutil.Percentile(s.TPOTs, 50) }
+
+// P99TPOT returns the 99th-percentile per-request average TPOT.
+func (s *Summary) P99TPOT() float64 { return mathutil.Percentile(s.TPOTs, 99) }
+
+// Summarize computes a Summary over all requests of a run. done should
+// contain every generated request (finished or not); breakdown comes from
+// the scheduler's accounting.
+func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Summary {
+	s := &Summary{
+		System:      system,
+		Requests:    len(reqs),
+		PerCategory: make(map[request.Category]*CategoryStats),
+		Breakdown:   breakdown,
+	}
+	if len(reqs) == 0 {
+		return s
+	}
+	firstArrival := reqs[0].ArrivalTime
+	lastDone := 0.0
+	var ttfts []float64
+	catTPOT := make(map[request.Category][]float64)
+	var totalSteps, totalAccepted int
+	for _, r := range reqs {
+		if r.ArrivalTime < firstArrival {
+			firstArrival = r.ArrivalTime
+		}
+		cs := s.PerCategory[r.Category]
+		if cs == nil {
+			cs = &CategoryStats{Category: r.Category}
+			s.PerCategory[r.Category] = cs
+		}
+		cs.Requests++
+		if r.Phase != request.Done {
+			cs.Violations++
+			continue
+		}
+		s.Finished++
+		if r.DoneTime > lastDone {
+			lastDone = r.DoneTime
+		}
+		tpot := r.AvgTPOT(r.DoneTime)
+		s.TPOTs = append(s.TPOTs, tpot)
+		catTPOT[r.Category] = append(catTPOT[r.Category], tpot)
+		if t := r.TTFT(); t >= 0 {
+			ttfts = append(ttfts, t)
+		}
+		totalSteps += r.VerifySteps
+		totalAccepted += r.AcceptedTokens
+		if r.AttainedSLO() {
+			s.Attained++
+			cs.Attained++
+		} else {
+			cs.Violations++
+		}
+	}
+	s.Duration = lastDone - firstArrival
+	if s.Duration > 0 {
+		var goodTokens, allTokens int
+		for _, r := range reqs {
+			if r.Phase != request.Done {
+				continue
+			}
+			allTokens += r.OutputLen()
+			if r.AttainedSLO() {
+				goodTokens += r.OutputLen()
+			}
+		}
+		s.Goodput = float64(goodTokens) / s.Duration
+		s.Throughput = float64(allTokens) / s.Duration
+		for cat, cs := range s.PerCategory {
+			var good int
+			for _, r := range reqs {
+				if r.Category == cat && r.Phase == request.Done && r.AttainedSLO() {
+					good += r.OutputLen()
+				}
+			}
+			cs.Goodput = float64(good) / s.Duration
+		}
+	}
+	if totalSteps > 0 {
+		s.MeanAcceptedPerStep = float64(totalAccepted) / float64(totalSteps)
+	}
+	s.MeanTTFT = mathutil.Mean(ttfts)
+	for cat, ts := range catTPOT {
+		s.PerCategory[cat].MeanTPOT = mathutil.Mean(ts)
+		s.PerCategory[cat].P99TPOT = mathutil.Percentile(ts, 99)
+	}
+	return s
+}
+
+// String renders a compact human-readable summary.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d reqs, attainment %.1f%%, goodput %.1f tok/s, mean acc %.2f",
+		s.System, s.Requests, 100*s.Attainment(), s.Goodput, s.MeanAcceptedPerStep)
+	cats := make([]request.Category, 0, len(s.PerCategory))
+	for c := range s.PerCategory {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		cs := s.PerCategory[c]
+		fmt.Fprintf(&b, "\n  %-14s %4d reqs, attain %.1f%%, mean TPOT %.1f ms",
+			c, cs.Requests, 100*cs.Attainment(), 1e3*cs.MeanTPOT)
+	}
+	return b.String()
+}

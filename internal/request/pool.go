@@ -1,0 +1,140 @@
+package request
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pool is the request manager's request pool (Figure 6): it holds waiting
+// and running requests and exposes the views schedulers iterate over.
+// Ordering is deterministic: FIFO by (arrival time, ID).
+type Pool struct {
+	waiting []*Request
+	running []*Request
+	done    []*Request
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Enqueue adds a newly arrived request to the waiting queue.
+func (p *Pool) Enqueue(r *Request) {
+	if r.Phase != Queued && r.Phase != Preempted {
+		panic(fmt.Sprintf("request: enqueue of %d in phase %s", r.ID, r.Phase))
+	}
+	p.waiting = append(p.waiting, r)
+	p.sortWaiting()
+}
+
+// sortWaiting keeps FIFO order by arrival then ID.
+func (p *Pool) sortWaiting() {
+	sort.SliceStable(p.waiting, func(i, j int) bool {
+		a, b := p.waiting[i], p.waiting[j]
+		if a.ArrivalTime != b.ArrivalTime {
+			return a.ArrivalTime < b.ArrivalTime
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Waiting returns the waiting queue (callers must not mutate ordering).
+func (p *Pool) Waiting() []*Request { return p.waiting }
+
+// Running returns the admitted, unfinished requests.
+func (p *Pool) Running() []*Request { return p.running }
+
+// Done returns finished requests.
+func (p *Pool) Done() []*Request { return p.done }
+
+// Admit moves a waiting request into the running set. The caller is
+// responsible for KV allocation.
+func (p *Pool) Admit(r *Request, now float64) {
+	idx := -1
+	for i, w := range p.waiting {
+		if w == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("request: admit of %d not in waiting queue", r.ID))
+	}
+	p.waiting = append(p.waiting[:idx], p.waiting[idx+1:]...)
+	if r.AdmitTime < 0 {
+		r.AdmitTime = now
+	}
+	if r.Phase == Queued {
+		r.Phase = Prefilling
+	} else {
+		r.Phase = Decoding // resumed from preemption
+	}
+	p.running = append(p.running, r)
+}
+
+// Preempt moves a running request back to the waiting queue (KV retained or
+// dropped per the caller), marking it Preempted.
+func (p *Pool) Preempt(r *Request) {
+	idx := -1
+	for i, q := range p.running {
+		if q == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("request: preempt of %d not running", r.ID))
+	}
+	p.running = append(p.running[:idx], p.running[idx+1:]...)
+	r.Phase = Preempted
+	r.PreemptCount++
+	p.waiting = append(p.waiting, r)
+	p.sortWaiting()
+}
+
+// Finish moves completed running requests into done, returning how many
+// moved. Requests mark themselves Done in Commit.
+func (p *Pool) Finish() int {
+	moved := 0
+	kept := p.running[:0]
+	for _, r := range p.running {
+		if r.Phase == Done {
+			p.done = append(p.done, r)
+			moved++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	p.running = kept
+	return moved
+}
+
+// NumWaiting returns the waiting-queue length.
+func (p *Pool) NumWaiting() int { return len(p.waiting) }
+
+// NumRunning returns the running-set size.
+func (p *Pool) NumRunning() int { return len(p.running) }
+
+// NumDone returns the finished-request count.
+func (p *Pool) NumDone() int { return len(p.done) }
+
+// DecodingRequests returns running requests currently in the decode phase.
+func (p *Pool) DecodingRequests() []*Request {
+	var out []*Request
+	for _, r := range p.running {
+		if r.Phase == Decoding {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PrefillingRequests returns running requests still prefilling.
+func (p *Pool) PrefillingRequests() []*Request {
+	var out []*Request
+	for _, r := range p.running {
+		if r.Phase == Prefilling {
+			out = append(out, r)
+		}
+	}
+	return out
+}

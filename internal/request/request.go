@@ -1,0 +1,252 @@
+// Package request defines the serving request model shared by AdaServe and
+// every baseline scheduler: application categories with TPOT SLOs, the
+// request lifecycle, and the SLO-progress accounting (A(r)) from §3 of the
+// paper.
+package request
+
+import (
+	"fmt"
+
+	"adaserve/internal/lm"
+)
+
+// Category identifies the application class of a request (Table 2).
+type Category int
+
+const (
+	// Coding is a latency-critical coding-copilot request (SLO = 1.2x
+	// baseline decode latency, per the paper / MLPerf interactive).
+	Coding Category = iota
+	// Chat is a chatbot request (SLO = 50 ms/token).
+	Chat
+	// Summarization is a relaxed batch-style request (SLO = 150 ms/token).
+	Summarization
+	numCategories
+)
+
+// NumCategories is the number of defined categories.
+const NumCategories = int(numCategories)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Coding:
+		return "coding"
+	case Chat:
+		return "chat"
+	case Summarization:
+		return "summarization"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Phase is a request's lifecycle stage.
+type Phase int
+
+const (
+	// Queued: arrived, not yet admitted.
+	Queued Phase = iota
+	// Prefilling: admitted, prompt not fully processed.
+	Prefilling
+	// Decoding: generating output tokens.
+	Decoding
+	// Preempted: was decoding, paused by the scheduler (KV retained).
+	Preempted
+	// Done: finished or dropped.
+	Done
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Queued:
+		return "queued"
+	case Prefilling:
+		return "prefilling"
+	case Decoding:
+		return "decoding"
+	case Preempted:
+		return "preempted"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Request is one inference request flowing through a serving system.
+type Request struct {
+	ID       int
+	Category Category
+	// TPOTSLO is the per-token latency target in seconds.
+	TPOTSLO float64
+	// Priority orders requests when schedulers prioritize; lower is more
+	// urgent. Derived from the category by default.
+	Priority int
+
+	// ArrivalTime is the trace timestamp, seconds.
+	ArrivalTime float64
+	// PromptLen is the prompt length in tokens.
+	PromptLen int
+	// MaxNewTokens is the output length (generation stops there; the
+	// synthetic LM has no EOS so traces fix output lengths).
+	MaxNewTokens int
+	// Seed drives this request's synthetic text; two requests never share
+	// token streams.
+	Seed uint64
+
+	// Phase is the current lifecycle stage.
+	Phase Phase
+	// PrefillDone counts prompt tokens already processed (chunked prefill).
+	PrefillDone int
+	// Output holds the committed output tokens.
+	Output []lm.Token
+	// Ctx is the decoding context (history of committed tokens).
+	Ctx lm.Context
+
+	// AdmitTime is when the request was first scheduled (prefill start).
+	AdmitTime float64
+	// FirstDecodeTime is when the first decode step began: the reference
+	// point for l_i in the paper's TPOT constraint. Negative until set.
+	FirstDecodeTime float64
+	// FirstTokenTime is when the first output token was committed (TTFT).
+	FirstTokenTime float64
+	// DoneTime is when generation finished.
+	DoneTime float64
+
+	// VerifySteps counts verification (or decode) iterations this request
+	// participated in, and AcceptedTokens the tokens committed by them; their
+	// ratio is the paper's "mean accepted tokens per verification step".
+	VerifySteps    int
+	AcceptedTokens int
+	// PreemptCount counts scheduler preemptions (FastServe/priority).
+	PreemptCount int
+}
+
+// New constructs a queued request with the mandatory fields set and
+// bookkeeping initialized.
+func New(id int, cat Category, slo float64, arrival float64, promptLen, maxNew int, seed uint64) *Request {
+	r := &Request{
+		ID: id, Category: cat, TPOTSLO: slo, Priority: int(cat),
+		ArrivalTime: arrival, PromptLen: promptLen, MaxNewTokens: maxNew, Seed: seed,
+		Phase:           Queued,
+		FirstDecodeTime: -1, FirstTokenTime: -1, DoneTime: -1, AdmitTime: -1,
+	}
+	r.Ctx = lm.Context{ReqSeed: seed}
+	return r
+}
+
+// Validate checks construction invariants.
+func (r *Request) Validate() error {
+	if r.TPOTSLO <= 0 {
+		return fmt.Errorf("request %d: non-positive TPOT SLO %g", r.ID, r.TPOTSLO)
+	}
+	if r.PromptLen <= 0 {
+		return fmt.Errorf("request %d: non-positive prompt length %d", r.ID, r.PromptLen)
+	}
+	if r.MaxNewTokens <= 0 {
+		return fmt.Errorf("request %d: non-positive output length %d", r.ID, r.MaxNewTokens)
+	}
+	return nil
+}
+
+// OutputLen returns the number of committed output tokens (o_i).
+func (r *Request) OutputLen() int { return len(r.Output) }
+
+// LastToken returns the most recent committed token, or a deterministic
+// pseudo prompt-final token if none has been generated yet.
+func (r *Request) LastToken() lm.Token {
+	if n := len(r.Output); n > 0 {
+		return r.Output[n-1]
+	}
+	return lm.Token(r.Seed % 256)
+}
+
+// Commit appends tokens produced by one decode/verify iteration ending at
+// time now, and marks completion when the output budget is reached. The
+// returned count is the number of tokens actually kept (clipped at
+// MaxNewTokens).
+func (r *Request) Commit(tokens []lm.Token, now float64) int {
+	kept := 0
+	for _, t := range tokens {
+		if len(r.Output) >= r.MaxNewTokens {
+			break
+		}
+		r.Output = append(r.Output, t)
+		r.Ctx = r.Ctx.Extend(t)
+		kept++
+	}
+	if kept > 0 && r.FirstTokenTime < 0 {
+		r.FirstTokenTime = now
+	}
+	r.AcceptedTokens += kept
+	if len(r.Output) >= r.MaxNewTokens {
+		r.Phase = Done
+		r.DoneTime = now
+	}
+	return kept
+}
+
+// DecodeLatency returns l_i: the time elapsed since the first decode step.
+// Zero before decoding starts.
+func (r *Request) DecodeLatency(now float64) float64 {
+	if r.FirstDecodeTime < 0 {
+		return 0
+	}
+	return now - r.FirstDecodeTime
+}
+
+// MinAcceptForSLO computes A(r) from the paper:
+//
+//	A(r) = (l_i + t_spec) / t_TPOT − o_i
+//
+// the minimum number of tokens this iteration (of projected duration tspec)
+// must commit for the request to remain on its TPOT SLO.
+func (r *Request) MinAcceptForSLO(now, tspec float64) float64 {
+	return r.MinAcceptFor(now, tspec, r.TPOTSLO)
+}
+
+// MinAcceptFor is MinAcceptForSLO against an arbitrary per-token target,
+// letting schedulers aim below the contractual SLO (a safety margin that
+// absorbs prefill interruptions between decode iterations).
+func (r *Request) MinAcceptFor(now, tspec, target float64) float64 {
+	return (r.DecodeLatency(now)+tspec)/target - float64(r.OutputLen())
+}
+
+// AvgTPOT returns the request's average per-token latency measured from the
+// first decode step, the quantity compared against the SLO. It returns 0
+// until at least one token exists.
+func (r *Request) AvgTPOT(now float64) float64 {
+	if r.OutputLen() == 0 || r.FirstDecodeTime < 0 {
+		return 0
+	}
+	end := now
+	if r.DoneTime >= 0 {
+		end = r.DoneTime
+	}
+	return (end - r.FirstDecodeTime) / float64(r.OutputLen())
+}
+
+// AttainedSLO reports whether a finished request met its TPOT SLO.
+func (r *Request) AttainedSLO() bool {
+	if r.Phase != Done || r.OutputLen() == 0 {
+		return false
+	}
+	return r.AvgTPOT(r.DoneTime) <= r.TPOTSLO
+}
+
+// TTFT returns the time-to-first-token, or -1 if no token was produced.
+func (r *Request) TTFT() float64 {
+	if r.FirstTokenTime < 0 {
+		return -1
+	}
+	return r.FirstTokenTime - r.ArrivalTime
+}
+
+// ContextLen returns the KV length if all prompt and output tokens are
+// cached: prompt + generated.
+func (r *Request) ContextLen() int { return r.PromptLen + len(r.Output) }
+
+// RemainingPrefill returns prompt tokens not yet prefilled.
+func (r *Request) RemainingPrefill() int { return r.PromptLen - r.PrefillDone }

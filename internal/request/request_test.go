@@ -1,0 +1,209 @@
+package request
+
+import (
+	"math"
+	"testing"
+
+	"adaserve/internal/lm"
+)
+
+func newReq(t *testing.T) *Request {
+	t.Helper()
+	r := New(1, Coding, 0.040, 10.0, 128, 64, 42)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCategoryAndPhaseStrings(t *testing.T) {
+	if Coding.String() != "coding" || Chat.String() != "chat" || Summarization.String() != "summarization" {
+		t.Fatal("category names wrong")
+	}
+	if Category(9).String() == "" || Phase(9).String() == "" {
+		t.Fatal("unknown enum should render")
+	}
+	for _, p := range []Phase{Queued, Prefilling, Decoding, Preempted, Done} {
+		if p.String() == "" {
+			t.Fatal("phase name empty")
+		}
+	}
+	if NumCategories != 3 {
+		t.Fatalf("NumCategories = %d", NumCategories)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	r := newReq(t)
+	if r.Phase != Queued {
+		t.Fatal("new request should be queued")
+	}
+	if r.FirstDecodeTime >= 0 || r.FirstTokenTime >= 0 || r.DoneTime >= 0 || r.AdmitTime >= 0 {
+		t.Fatal("timestamps should start unset")
+	}
+	if r.Priority != int(Coding) {
+		t.Fatal("priority should derive from category")
+	}
+	if r.Ctx.ReqSeed != 42 {
+		t.Fatal("context seed not set")
+	}
+}
+
+func TestValidateRejectsBadRequests(t *testing.T) {
+	bad := []*Request{
+		New(1, Chat, 0, 0, 10, 10, 1),
+		New(2, Chat, 0.05, 0, 0, 10, 1),
+		New(3, Chat, 0.05, 0, 10, 0, 1),
+	}
+	for _, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("request %d should not validate", r.ID)
+		}
+	}
+}
+
+func TestCommitLifecycle(t *testing.T) {
+	r := New(1, Chat, 0.05, 0, 16, 3, 7)
+	r.Phase = Decoding
+	r.FirstDecodeTime = 1.0
+
+	kept := r.Commit([]lm.Token{10, 11}, 1.1)
+	if kept != 2 || r.OutputLen() != 2 {
+		t.Fatalf("kept=%d len=%d", kept, r.OutputLen())
+	}
+	if r.FirstTokenTime != 1.1 {
+		t.Fatal("first token time not stamped")
+	}
+	if r.Phase != Decoding {
+		t.Fatal("phase should stay decoding")
+	}
+
+	// Third token completes; fourth is clipped.
+	kept = r.Commit([]lm.Token{12, 13}, 1.2)
+	if kept != 1 {
+		t.Fatalf("clip kept %d", kept)
+	}
+	if r.Phase != Done || r.DoneTime != 1.2 {
+		t.Fatal("completion not recorded")
+	}
+	if r.OutputLen() != 3 {
+		t.Fatalf("output len %d", r.OutputLen())
+	}
+	if r.AcceptedTokens != 3 {
+		t.Fatalf("accepted tokens %d", r.AcceptedTokens)
+	}
+}
+
+func TestCommitExtendsContext(t *testing.T) {
+	r := New(1, Chat, 0.05, 0, 16, 10, 7)
+	r.Commit([]lm.Token{5, 6}, 1)
+	if len(r.Ctx.Hist) != 2 || r.Ctx.Hist[1] != 6 {
+		t.Fatalf("context hist %v", r.Ctx.Hist)
+	}
+	if r.LastToken() != 6 {
+		t.Fatal("LastToken should be the newest")
+	}
+}
+
+func TestLastTokenBeforeOutput(t *testing.T) {
+	r := New(1, Chat, 0.05, 0, 16, 10, 300)
+	if got := r.LastToken(); got != lm.Token(300%256) {
+		t.Fatalf("pre-output LastToken = %d", got)
+	}
+}
+
+func TestDecodeLatency(t *testing.T) {
+	r := newReq(t)
+	if r.DecodeLatency(99) != 0 {
+		t.Fatal("latency before decoding should be 0")
+	}
+	r.FirstDecodeTime = 10
+	if got := r.DecodeLatency(12.5); got != 2.5 {
+		t.Fatalf("latency %g", got)
+	}
+}
+
+func TestMinAcceptForSLO(t *testing.T) {
+	r := newReq(t) // SLO 40ms
+	r.FirstDecodeTime = 0
+	r.Output = make([]lm.Token, 4) // o_i = 4
+
+	// At now=0.2s with tspec=0.04: A = (0.2+0.04)/0.04 - 4 = 2.
+	got := r.MinAcceptForSLO(0.2, 0.04)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("A(r) = %g, want 2", got)
+	}
+	// Ahead of schedule: negative A.
+	r.Output = make([]lm.Token, 10)
+	if r.MinAcceptForSLO(0.2, 0.04) >= 0 {
+		t.Fatal("ahead-of-SLO request should have negative A")
+	}
+	// Tighter target raises A.
+	if r.MinAcceptFor(0.2, 0.04, 0.020) <= r.MinAcceptFor(0.2, 0.04, 0.040) {
+		t.Fatal("halving the target should raise A")
+	}
+}
+
+func TestAvgTPOTAndAttainment(t *testing.T) {
+	r := New(1, Chat, 0.05, 0, 16, 10, 7)
+	if r.AvgTPOT(1) != 0 {
+		t.Fatal("TPOT before decode should be 0")
+	}
+	r.FirstDecodeTime = 1.0
+	toks := make([]lm.Token, 10)
+	r.Commit(toks, 1.4) // 10 tokens in 0.4s -> 40ms/token
+	if got := r.AvgTPOT(99); math.Abs(got-0.04) > 1e-9 {
+		t.Fatalf("TPOT %g", got)
+	}
+	if !r.AttainedSLO() {
+		t.Fatal("40ms <= 50ms SLO should attain")
+	}
+	// A slower request violates.
+	r2 := New(2, Chat, 0.05, 0, 16, 10, 7)
+	r2.FirstDecodeTime = 1.0
+	r2.Commit(toks, 1.6) // 60ms/token
+	if r2.AttainedSLO() {
+		t.Fatal("60ms > 50ms SLO should violate")
+	}
+}
+
+func TestAttainedSLORequiresCompletion(t *testing.T) {
+	r := newReq(t)
+	r.FirstDecodeTime = 0
+	r.Commit([]lm.Token{1}, 0.001)
+	if r.Phase == Done {
+		t.Fatal("not done yet")
+	}
+	if r.AttainedSLO() {
+		t.Fatal("incomplete request cannot attain")
+	}
+}
+
+func TestTTFT(t *testing.T) {
+	r := newReq(t) // arrival 10.0
+	if r.TTFT() != -1 {
+		t.Fatal("TTFT before first token should be -1")
+	}
+	r.Commit([]lm.Token{1}, 10.7)
+	if math.Abs(r.TTFT()-0.7) > 1e-9 {
+		t.Fatalf("TTFT %g", r.TTFT())
+	}
+}
+
+func TestContextAndPrefillAccounting(t *testing.T) {
+	r := newReq(t) // prompt 128
+	if r.ContextLen() != 128 {
+		t.Fatal("context = prompt before output")
+	}
+	if r.RemainingPrefill() != 128 {
+		t.Fatal("nothing prefilled yet")
+	}
+	r.PrefillDone = 100
+	if r.RemainingPrefill() != 28 {
+		t.Fatal("remaining prefill wrong")
+	}
+	r.Commit([]lm.Token{1, 2}, 1)
+	if r.ContextLen() != 130 {
+		t.Fatal("context should include output")
+	}
+}

@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"fmt"
+
+	"adaserve/internal/core"
+	"adaserve/internal/engine"
+	"adaserve/internal/gpu"
+)
+
+// AdaServe is the paper's system: SLO-customized speculative decoding with a
+// speculate → SLO-customized-select → throughput-optimized-select → verify
+// pipeline per decode iteration, a hardware-profiled verification token
+// budget, and adaptive speculation parameters (Eq. 8–9).
+type AdaServe struct {
+	base
+	// Controller adapts the speculation depth and width to load.
+	Controller core.Controller
+	// Profile is the fitted roofline of the verifier (target model).
+	Profile *gpu.Profile
+	// VerifyBudget is B: the per-iteration verification token budget chosen
+	// from the profile ("an optimal budget that balances decoding
+	// throughput and latency").
+	VerifyBudget int
+	// NMax caps one request's draft-tree size during SLO-customized
+	// selection (n_max in Algorithm 2); <= 0 disables the cap (ablation).
+	NMax int
+	// TokensPerRequest floors the budget at n x this under high load, so
+	// heavy batches are not starved below what static speculation would
+	// spend (the profiled budget governs at low load).
+	TokensPerRequest int
+	// SelectCPUPerNode models the CPU cost of the selection phases per
+	// candidate node (heap operations), in seconds.
+	SelectCPUPerNode float64
+	// SLOMargin makes A(r) target this fraction of each request's SLO
+	// (e.g. 0.75 aims 25% under), absorbing the prefill interruptions that
+	// land between a request's decode iterations.
+	SLOMargin float64
+	// PrefillChunk is the baseline number of prompt tokens co-batched into
+	// each verification pass. AdaServe's unified engine rides prefill
+	// chunks along with tree verification (the paper's Figure 15 has no
+	// separate prefill phase), so prompts never block decode with
+	// monolithic passes. The chunk grows with the prefill backlog.
+	PrefillChunk int
+
+	// lastIterTime smooths the t_spec estimate used in A(r) with the
+	// previous iteration's actual duration.
+	lastIterTime float64
+
+	// Debug accumulates per-iteration internals for tests and diagnosis.
+	Debug AdaServeDebug
+}
+
+// AdaServeDebug aggregates scheduler internals across a run.
+type AdaServeDebug struct {
+	DecodeIters   int
+	SumBatch      int
+	SumDepth      int
+	SumWidth      int
+	SumBudget     int
+	SumBudgetUsed int
+	SumSelected   int
+	SumExpected   float64
+	SumIterTime   float64
+	SLOUnmet      int
+}
+
+// AvgBatch returns the mean decode batch size.
+func (d AdaServeDebug) AvgBatch() float64 {
+	if d.DecodeIters == 0 {
+		return 0
+	}
+	return float64(d.SumBatch) / float64(d.DecodeIters)
+}
+
+// AdaServeOptions tunes construction.
+type AdaServeOptions struct {
+	// BudgetLatencyFactor sets the verification latency target as a
+	// multiple of the profile's flat-region latency; the budget B is the
+	// largest token count fitting that target. Default 1.5: half again the
+	// memory-bound floor, the knee region where verification throughput is
+	// nearly free.
+	BudgetLatencyFactor float64
+	// NMax overrides the per-request selection cap (default 2·(DMax+1)).
+	NMax int
+	// Controller overrides the adaptive controller (zero value: derived
+	// from the budget via core.DefaultController).
+	Controller *core.Controller
+}
+
+// NewAdaServe profiles the engine's target cost model and assembles the
+// system.
+func NewAdaServe(cfg Config, opts AdaServeOptions) (*AdaServe, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Engine.Draft() == nil {
+		return nil, fmt.Errorf("sched: AdaServe requires a draft model")
+	}
+	if opts.BudgetLatencyFactor == 0 {
+		opts.BudgetLatencyFactor = 1.3
+	}
+	if opts.BudgetLatencyFactor < 1 {
+		return nil, fmt.Errorf("sched: budget latency factor %g < 1", opts.BudgetLatencyFactor)
+	}
+	prof, err := gpu.ProfileCostModel(cfg.Engine.TargetCost(), 4096, 512)
+	if err != nil {
+		return nil, fmt.Errorf("sched: profiling target: %w", err)
+	}
+	budget := prof.BudgetFor(opts.BudgetLatencyFactor * prof.Base)
+	var ctrl core.Controller
+	if opts.Controller != nil {
+		ctrl = *opts.Controller
+	} else {
+		ctrl = core.DefaultController(budget)
+	}
+	if err := ctrl.Validate(); err != nil {
+		return nil, err
+	}
+	nmax := opts.NMax
+	if nmax == 0 {
+		nmax = 2 * (ctrl.DMax + 1)
+	}
+	return &AdaServe{
+		base:             b,
+		Controller:       ctrl,
+		Profile:          prof,
+		VerifyBudget:     budget,
+		NMax:             nmax,
+		TokensPerRequest: 4,
+		SelectCPUPerNode: 150e-9,
+		SLOMargin:        1.0,
+		PrefillChunk:     128,
+	}, nil
+}
+
+// Name implements System.
+func (a *AdaServe) Name() string { return "AdaServe" }
+
+// Iterate implements System: one full SLO-customized speculative decoding
+// iteration (Algorithm 2 embedded in the serving loop of Figure 6).
+func (a *AdaServe) Iterate(now float64) IterationStats {
+	a.finish()
+	a.admitFIFO(now)
+
+	decode := a.pool.DecodingRequests()
+	n := len(decode)
+	if n == 0 {
+		// Nothing decoding: run a plain prefill-only pass (no one to hurt
+		// with a monolithic pass).
+		if st, ok := a.prefillWhole(now); ok {
+			return st
+		}
+		return IterationStats{Idle: true}
+	}
+	markFirstDecode(decode, now)
+
+	// Budget for this iteration: the profiled budget at low load, scaling
+	// with the batch under high load so requests are not starved below
+	// plain static speculation.
+	budget := a.VerifyBudget
+	if scaled := n * a.TokensPerRequest; scaled > budget {
+		budget = scaled
+	}
+	if budget < n {
+		budget = n
+	}
+
+	// Adaptive control: (d, w) from the active-request count (Eq. 8–9),
+	// evaluated at this iteration's effective budget.
+	d, w := a.Controller.ParamsWithBudget(n, budget, budget)
+
+	// Step 1: speculation (beam search candidate trees).
+	spec, err := a.cfg.Engine.SpeculateBeams(decode, d, w)
+	if err != nil {
+		panic(err)
+	}
+
+	// Estimate t_spec (the iteration's duration) for the TPOT constraint:
+	// known speculation time + profiled verification time at the budget,
+	// smoothed with the previous iteration's actual duration.
+	tspec := spec.GPUTime + a.Profile.Latency(budget) + a.cfg.SchedOverhead
+	if a.lastIterTime > tspec {
+		tspec = a.lastIterTime
+	}
+
+	// Steps 2+3: SLO-customized and throughput-optimized selection.
+	selReqs := make([]core.SelectRequest, n)
+	candNodes := 0
+	for i, r := range decode {
+		minAcc := r.MinAcceptFor(now, tspec, r.TPOTSLO*a.SLOMargin)
+		if minAcc < 0 {
+			minAcc = 0
+		}
+		selReqs[i] = core.SelectRequest{Cand: spec.Trees[i], MinAccept: minAcc}
+		candNodes += spec.Trees[i].Size()
+	}
+	// n_max prevents requests that are far behind their SLO from
+	// monopolizing the budget with low-probability nodes (Algorithm 2). It
+	// tracks twice the fair share so catching-up requests can overdraw,
+	// bounded by the configured cap and floored at d+1 (a full chain).
+	nmax := a.NMax
+	if nmax > 0 {
+		fair := 3 * budget / (2 * n)
+		if fair < d+1 {
+			fair = d + 1
+		}
+		if fair < nmax {
+			nmax = fair
+		}
+	}
+	selRes, err := core.Select(selReqs, core.SelectConfig{
+		Budget: budget, Depth: d, PerRequestMax: nmax,
+	})
+	if err != nil {
+		panic(err)
+	}
+	selCPU := a.cfg.SchedOverhead + a.SelectCPUPerNode*float64(candNodes)
+
+	// Step 4: tree verification, with prefill chunks co-batched into the
+	// same pass. The chunk budget grows with the prefill backlog so prompt
+	// processing keeps pace without monolithic latency spikes.
+	items := make([]engine.VerifyItem, n)
+	for i, r := range decode {
+		items[i] = engine.VerifyItem{Req: r, Sel: selRes.Selections[i]}
+	}
+	var prefill []engine.PrefillItem
+	if a.PrefillChunk > 0 {
+		backlog := 0
+		pre := a.pool.PrefillingRequests()
+		for _, r := range pre {
+			backlog += r.RemainingPrefill()
+		}
+		chunkBudget := backlog / 4
+		if chunkBudget < a.PrefillChunk {
+			chunkBudget = a.PrefillChunk
+		}
+		if max := a.cfg.MaxPrefillTokens; chunkBudget > max {
+			chunkBudget = max
+		}
+		for _, r := range pre {
+			if chunkBudget <= 0 {
+				break
+			}
+			c := r.RemainingPrefill()
+			if c > chunkBudget {
+				c = chunkBudget
+			}
+			prefill = append(prefill, engine.PrefillItem{Req: r, Chunk: c})
+			chunkBudget -= c
+		}
+	}
+	ver := a.cfg.Engine.VerifyTreesWithPrefill(items, prefill)
+
+	st := IterationStats{
+		Elapsed:    spec.GPUTime + selCPU + ver.GPUTime,
+		SchedCPU:   selCPU,
+		SpecTime:   spec.GPUTime,
+		VerifyTime: ver.GPUTime,
+	}
+	end := now + st.Elapsed
+	for i, r := range decode {
+		st.TokensCommitted += engine.CommitVerify(r, ver.Results[i], end)
+	}
+	a.lastIterTime = st.Elapsed
+
+	a.Debug.DecodeIters++
+	a.Debug.SumBatch += n
+	a.Debug.SumDepth += d
+	a.Debug.SumWidth += w
+	a.Debug.SumBudget += budget
+	a.Debug.SumBudgetUsed += selRes.BudgetUsed
+	a.Debug.SumIterTime += st.Elapsed
+	for i := range selRes.Selections {
+		a.Debug.SumSelected += selRes.Selections[i].Size()
+		a.Debug.SumExpected += selRes.ExpectedAccept[i]
+		if !selRes.SLOSatisfied[i] {
+			a.Debug.SLOUnmet++
+		}
+	}
+	return st
+}

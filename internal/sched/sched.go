@@ -1,0 +1,211 @@
+// Package sched implements the serving systems under evaluation: AdaServe's
+// SLO-customized scheduler and the six baselines the paper compares against
+// (vLLM continuous batching, Sarathi-Serve chunked prefill, vLLM+priority,
+// vLLM-Spec static speculation, FastServe MLFQ, and VTC fair scheduling).
+//
+// Every system shares the same substrate — an execution engine, a paged KV
+// allocator, and a request pool — and exposes one operation: Iterate, which
+// performs one scheduling-plus-execution iteration starting at a given
+// simulated time and reports how long it took. The discrete-event driver in
+// internal/sim advances the clock and delivers arrivals.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"adaserve/internal/engine"
+	"adaserve/internal/gpu"
+	"adaserve/internal/kvcache"
+	"adaserve/internal/request"
+)
+
+// IterationStats reports one iteration of a serving system.
+type IterationStats struct {
+	// Elapsed is the simulated duration of the iteration (GPU + CPU).
+	Elapsed float64
+	// SchedCPU is the CPU scheduling/selection time included in Elapsed.
+	SchedCPU float64
+	// SpecTime, VerifyTime and PrefillTime are the GPU components.
+	SpecTime, VerifyTime, PrefillTime float64
+	// TokensCommitted counts output tokens committed this iteration.
+	TokensCommitted int
+	// Idle reports that the system had no work (Elapsed is 0).
+	Idle bool
+}
+
+// System is one serving system instance.
+type System interface {
+	// Name identifies the system in reports (e.g. "vLLM-Spec (4)").
+	Name() string
+	// Pool returns the system's request pool; the driver enqueues arrivals
+	// into it.
+	Pool() *request.Pool
+	// Iterate runs one iteration starting at simulated time now.
+	Iterate(now float64) IterationStats
+}
+
+// Config carries the substrate shared by all systems.
+type Config struct {
+	Engine *engine.Engine
+	KV     *kvcache.Allocator
+	// MaxBatch caps concurrently running sequences (admission control).
+	MaxBatch int
+	// MaxPrefillTokens bounds tokens per prefill-focused iteration.
+	MaxPrefillTokens int
+	// SchedOverhead is the fixed per-iteration CPU cost in seconds,
+	// calibrated to a production scheduler's bookkeeping.
+	SchedOverhead float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Engine == nil {
+		return fmt.Errorf("sched: engine required")
+	}
+	if c.KV == nil {
+		return fmt.Errorf("sched: KV allocator required")
+	}
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("sched: MaxBatch %d <= 0", c.MaxBatch)
+	}
+	if c.MaxPrefillTokens <= 0 {
+		return fmt.Errorf("sched: MaxPrefillTokens %d <= 0", c.MaxPrefillTokens)
+	}
+	if c.SchedOverhead < 0 {
+		return fmt.Errorf("sched: negative scheduler overhead")
+	}
+	return nil
+}
+
+// base holds the machinery common to all systems.
+type base struct {
+	cfg  Config
+	pool *request.Pool
+}
+
+func newBase(cfg Config) (base, error) {
+	if err := cfg.Validate(); err != nil {
+		return base{}, err
+	}
+	return base{cfg: cfg, pool: request.NewPool()}, nil
+}
+
+// Pool implements System.
+func (b *base) Pool() *request.Pool { return b.pool }
+
+// reserveTokens is the KV reservation for a request: the full context it can
+// ever need plus slack for in-flight speculative tokens. Reserving up front
+// keeps the simulators deterministic (no mid-decode OOM preemption paths,
+// which none of the compared policies rely on).
+func reserveTokens(r *request.Request) int {
+	return r.PromptLen + r.MaxNewTokens + 16
+}
+
+// admitFIFO admits waiting requests in FIFO order while batch and KV
+// capacity allow. Requests resumed from preemption keep their allocation.
+func (b *base) admitFIFO(now float64) {
+	b.admitOrdered(now, nil)
+}
+
+// admitOrdered admits waiting requests in the order induced by less (nil
+// means the pool's FIFO order), bounded by MaxBatch and KV capacity.
+func (b *base) admitOrdered(now float64, less func(a, c *request.Request) bool) {
+	waiting := append([]*request.Request(nil), b.pool.Waiting()...)
+	if less != nil {
+		sort.SliceStable(waiting, func(i, j int) bool { return less(waiting[i], waiting[j]) })
+	}
+	for _, r := range waiting {
+		if b.pool.NumRunning() >= b.cfg.MaxBatch {
+			return
+		}
+		if !b.cfg.KV.Has(r.ID) {
+			if err := b.cfg.KV.Allocate(r.ID, reserveTokens(r)); err != nil {
+				// Capacity exhausted: later arrivals cannot help (FIFO), and
+				// for ordered admission smaller requests may still fit.
+				if less == nil {
+					return
+				}
+				continue
+			}
+		}
+		b.pool.Admit(r, now)
+	}
+}
+
+// finish retires done requests and releases their KV.
+func (b *base) finish() {
+	for _, r := range b.pool.Running() {
+		if r.Phase == request.Done && b.cfg.KV.Has(r.ID) {
+			if err := b.cfg.KV.Free(r.ID); err != nil {
+				panic(err)
+			}
+		}
+	}
+	b.pool.Finish()
+}
+
+// prefillWhole runs one vLLM-style prefill-prioritized iteration: whole
+// prompts, FIFO, packing more requests while the token budget lasts (the
+// first prompt always runs even if it alone exceeds the budget). Returns
+// stats and whether any prefill work was done.
+func (b *base) prefillWhole(now float64) (IterationStats, bool) {
+	pre := b.pool.PrefillingRequests()
+	if len(pre) == 0 {
+		return IterationStats{}, false
+	}
+	budget := b.cfg.MaxPrefillTokens
+	var items []engine.PrefillItem
+	for _, r := range pre {
+		rem := r.RemainingPrefill()
+		if len(items) > 0 && rem > budget {
+			break
+		}
+		items = append(items, engine.PrefillItem{Req: r, Chunk: rem})
+		budget -= rem
+		if budget <= 0 {
+			break
+		}
+	}
+	gpuTime := b.cfg.Engine.Prefill(items)
+	st := IterationStats{
+		Elapsed:     gpuTime + b.cfg.SchedOverhead,
+		SchedCPU:    b.cfg.SchedOverhead,
+		PrefillTime: gpuTime,
+	}
+	return st, true
+}
+
+// markFirstDecode stamps FirstDecodeTime for requests entering their first
+// decode iteration: the reference point of the paper's TPOT accounting.
+func markFirstDecode(reqs []*request.Request, now float64) {
+	for _, r := range reqs {
+		if r.FirstDecodeTime < 0 {
+			r.FirstDecodeTime = now
+		}
+	}
+}
+
+// sortStable sorts requests with the given ordering.
+func sortStable(reqs []*request.Request, less func(a, c *request.Request) bool) {
+	sort.SliceStable(reqs, func(i, j int) bool { return less(reqs[i], reqs[j]) })
+}
+
+// shapeFor is a one-token-per-sequence decode batch shape.
+func shapeFor(n, kv int) gpu.BatchShape {
+	return gpu.BatchShape{Tokens: n, Seqs: n, KVTokens: kv}
+}
+
+// minSLO returns the tightest TPOT SLO among reqs (or 0 when empty).
+func minSLO(reqs []*request.Request) float64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	m := reqs[0].TPOTSLO
+	for _, r := range reqs[1:] {
+		if r.TPOTSLO < m {
+			m = r.TPOTSLO
+		}
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"adaserve/internal/request"
+)
+
+// VTC is the Virtual Token Counter baseline: fair scheduling across service
+// classes (here: the request categories) by tracking a weighted count of
+// tokens served per class and always serving the most under-served classes
+// first. Fairness is orthogonal to SLOs: a class that needs few tokens but
+// tight latency gets no preferential latency treatment.
+type VTC struct {
+	base
+	// WIn weights prompt tokens in the counter (VTC's w_in/w_out ratio).
+	WIn float64
+	// counters tracks weighted tokens served per category.
+	counters [request.NumCategories]float64
+}
+
+// NewVTC constructs the baseline.
+func NewVTC(cfg Config) (*VTC, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &VTC{base: b, WIn: 0.5}, nil
+}
+
+// Name implements System.
+func (v *VTC) Name() string { return "VTC" }
+
+// Counter returns the current fair-share counter for a category (tests).
+func (v *VTC) Counter(c request.Category) float64 { return v.counters[c] }
+
+// Iterate implements System.
+func (v *VTC) Iterate(now float64) IterationStats {
+	v.finish()
+	// Admission prefers the most under-served category (lowest counter),
+	// the mechanism through which VTC realizes fairness under contention.
+	v.admitOrdered(now, func(a, c *request.Request) bool {
+		ca, cc := v.counters[a.Category], v.counters[c.Category]
+		if ca != cc {
+			return ca < cc
+		}
+		if a.ArrivalTime != c.ArrivalTime {
+			return a.ArrivalTime < c.ArrivalTime
+		}
+		return a.ID < c.ID
+	})
+
+	if st, ok := v.prefillWhole(now); ok {
+		for _, r := range v.pool.Running() {
+			// Count freshly prefilled prompts toward their class.
+			if r.Phase == request.Decoding && r.OutputLen() == 0 && r.FirstDecodeTime < 0 {
+				v.counters[r.Category] += v.WIn * float64(r.PromptLen)
+			}
+		}
+		return st
+	}
+
+	decode := v.pool.DecodingRequests()
+	if len(decode) == 0 {
+		return IterationStats{Idle: true}
+	}
+	markFirstDecode(decode, now)
+	res := v.cfg.Engine.DecodeBatch(decode)
+	st := IterationStats{
+		Elapsed:    res.GPUTime + v.cfg.SchedOverhead,
+		SchedCPU:   v.cfg.SchedOverhead,
+		VerifyTime: res.GPUTime,
+	}
+	end := now + st.Elapsed
+	for i, r := range decode {
+		kept := r.Commit(res.Tokens[i:i+1], end)
+		st.TokensCommitted += kept
+		v.counters[r.Category] += float64(kept)
+		r.VerifySteps++
+	}
+	return st
+}

@@ -1,0 +1,99 @@
+package toktree
+
+import (
+	"fmt"
+	"sort"
+
+	"adaserve/internal/lm"
+)
+
+// BeamResult is the outcome of candidate-tree construction for one request.
+type BeamResult struct {
+	Tree *Tree
+	// DraftTokensProcessed counts draft-model forward positions consumed,
+	// for cost accounting: 1 (root) at step one, then the beam nodes
+	// expanded at each later step.
+	DraftTokensProcessed int
+	// Steps is the number of draft decoding steps actually executed (≤ the
+	// requested depth; construction stops early if the beam empties).
+	Steps int
+}
+
+// BeamSearch constructs a candidate token tree of depth d and beam width w
+// for a request whose decoding context is ctx and whose last committed token
+// is rootTok (Algorithm 2's speculation phase).
+//
+// Step 1 expands the root and keeps the w highest-DraftProb children. Each
+// subsequent step expands all beam nodes and keeps the w children with the
+// highest *path* probability (global per request, as in Eagle-2-style beam
+// search), so every non-root level holds at most w nodes.
+func BeamSearch(draft lm.Model, ctx lm.Context, rootTok lm.Token, d, w int) (*BeamResult, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("toktree: negative beam depth %d", d)
+	}
+	if w < 1 && d > 0 {
+		return nil, fmt.Errorf("toktree: beam width %d < 1", w)
+	}
+	t := NewTree(ctx, rootTok)
+	res := &BeamResult{Tree: t}
+	if d == 0 {
+		return res, nil
+	}
+
+	type beamEntry struct {
+		nodeID int
+		ctx    lm.Context
+	}
+	beam := []beamEntry{{nodeID: 0, ctx: ctx}}
+
+	for step := 0; step < d; step++ {
+		type cand struct {
+			parent    beamEntry
+			tok       lm.Token
+			draftProb float64
+			pathProb  float64
+		}
+		var cands []cand
+		for _, be := range beam {
+			res.DraftTokensProcessed++
+			dist := draft.Dist(be.ctx)
+			parentPath := t.Nodes[be.nodeID].PathProb
+			for _, e := range dist.TopK(w) {
+				cands = append(cands, cand{
+					parent: be, tok: e.Token,
+					draftProb: e.Prob, pathProb: parentPath * e.Prob,
+				})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].pathProb != cands[j].pathProb {
+				return cands[i].pathProb > cands[j].pathProb
+			}
+			if cands[i].parent.nodeID != cands[j].parent.nodeID {
+				return cands[i].parent.nodeID < cands[j].parent.nodeID
+			}
+			return cands[i].tok < cands[j].tok
+		})
+		if len(cands) > w {
+			cands = cands[:w]
+		}
+		next := make([]beamEntry, 0, len(cands))
+		for _, c := range cands {
+			id := t.AddChild(c.parent.nodeID, c.tok, c.draftProb)
+			next = append(next, beamEntry{nodeID: id, ctx: c.parent.ctx.Extend(c.tok)})
+		}
+		beam = next
+		res.Steps++
+	}
+	return res, nil
+}
+
+// ChainSpeculate builds a depth-k chain (beam width 1): the draft greedily
+// decodes k tokens. This is the static sequence speculation used by the
+// vLLM-Spec baselines.
+func ChainSpeculate(draft lm.Model, ctx lm.Context, rootTok lm.Token, k int) (*BeamResult, error) {
+	return BeamSearch(draft, ctx, rootTok, k, 1)
+}

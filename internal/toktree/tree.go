@@ -1,0 +1,263 @@
+// Package toktree implements draft token trees: the beam-search candidate
+// trees produced during AdaServe's speculation phase, the selected draft
+// trees submitted for verification, and tree-based parallel verification.
+//
+// Conventions (following the paper, §3):
+//
+//   - Every tree is rooted at the request's last generated token. The root
+//     has path probability f(root) = 1: verification always commits at least
+//     one new token (the bonus/correction token), so the root counts toward
+//     acc(T) and toward the token budget.
+//   - A node's path probability is the product of conditional draft
+//     probabilities along the root path — the approximation of f(v) from
+//     Eq. (7).
+//   - acc(T) = 1 + number of accepted draft tokens = tokens committed by one
+//     verification pass, so E[acc(T)] = Σ_{v∈T} f(v) (Theorem 3.1).
+package toktree
+
+import (
+	"fmt"
+	"sort"
+
+	"adaserve/internal/lm"
+)
+
+// Node is one token in a candidate tree.
+type Node struct {
+	// ID indexes Tree.Nodes; the root is always ID 0.
+	ID int
+	// Token is the draft token at this node (for the root: the request's
+	// last committed token, informational only).
+	Token lm.Token
+	// Parent is the parent node ID, or -1 for the root.
+	Parent int
+	// Depth is 0 for the root.
+	Depth int
+	// DraftProb is q(token | path to parent), 1 for the root.
+	DraftProb float64
+	// PathProb is the product of DraftProb along the root path (the
+	// approximated f(v)); 1 for the root.
+	PathProb float64
+	// Children lists child node IDs in descending DraftProb order.
+	Children []int
+}
+
+// Tree is a candidate token tree for one request, as produced by the
+// speculation phase. Selection marks a subset of its nodes; the marked
+// subset is the draft token tree T submitted for verification.
+type Tree struct {
+	Nodes []Node
+	// Ctx is the request's decoding context at the root (history includes
+	// the root token).
+	Ctx lm.Context
+}
+
+// NewTree creates a tree holding only a root for the given context. rootTok
+// should be the last committed token of the request.
+func NewTree(ctx lm.Context, rootTok lm.Token) *Tree {
+	return &Tree{
+		Nodes: []Node{{ID: 0, Token: rootTok, Parent: -1, Depth: 0, DraftProb: 1, PathProb: 1}},
+		Ctx:   ctx,
+	}
+}
+
+// AddChild appends a node under parent and returns its ID. Children are kept
+// sorted by descending DraftProb (ties by token) so verification considers
+// likelier branches first.
+func (t *Tree) AddChild(parent int, tok lm.Token, draftProb float64) int {
+	if parent < 0 || parent >= len(t.Nodes) {
+		panic(fmt.Sprintf("toktree: AddChild parent %d out of range", parent))
+	}
+	id := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{
+		ID: id, Token: tok, Parent: parent, Depth: t.Nodes[parent].Depth + 1,
+		DraftProb: draftProb, PathProb: t.Nodes[parent].PathProb * draftProb,
+	})
+	// Take the parent pointer only after append: append may reallocate
+	// t.Nodes, and a pointer captured earlier would mutate the stale array.
+	p := &t.Nodes[parent]
+	p.Children = append(p.Children, id)
+	sort.SliceStable(p.Children, func(i, j int) bool {
+		a, b := &t.Nodes[p.Children[i]], &t.Nodes[p.Children[j]]
+		if a.DraftProb != b.DraftProb {
+			return a.DraftProb > b.DraftProb
+		}
+		return a.Token < b.Token
+	})
+	return id
+}
+
+// Size returns the number of nodes including the root.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Depth returns the maximum node depth.
+func (t *Tree) Depth() int {
+	d := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Depth > d {
+			d = t.Nodes[i].Depth
+		}
+	}
+	return d
+}
+
+// NodeCtx returns the decoding context at node id: the root context extended
+// by the draft tokens along the path (excluding the node's own token), i.e.
+// the context under which the node's token was proposed.
+func (t *Tree) NodeCtx(id int) lm.Context {
+	var path []int
+	for n := id; n != 0; n = t.Nodes[n].Parent {
+		path = append(path, n)
+	}
+	ctx := t.Ctx
+	for i := len(path) - 1; i >= 1; i-- {
+		ctx = ctx.Extend(t.Nodes[path[i]].Token)
+	}
+	return ctx
+}
+
+// PathTokens returns the draft tokens from (excluding) the root to node id.
+func (t *Tree) PathTokens(id int) []lm.Token {
+	var rev []lm.Token
+	for n := id; n != 0; n = t.Nodes[n].Parent {
+		rev = append(rev, t.Nodes[n].Token)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Validate checks structural invariants: parent links, depths, sorted
+// children, and path-probability monotonicity (child ≤ parent).
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("toktree: empty tree")
+	}
+	if t.Nodes[0].Parent != -1 || t.Nodes[0].Depth != 0 || t.Nodes[0].PathProb != 1 {
+		return fmt.Errorf("toktree: malformed root %+v", t.Nodes[0])
+	}
+	for i := 1; i < len(t.Nodes); i++ {
+		n := &t.Nodes[i]
+		if n.ID != i {
+			return fmt.Errorf("toktree: node %d has ID %d", i, n.ID)
+		}
+		if n.Parent < 0 || n.Parent >= len(t.Nodes) {
+			return fmt.Errorf("toktree: node %d parent %d out of range", i, n.Parent)
+		}
+		p := &t.Nodes[n.Parent]
+		if n.Depth != p.Depth+1 {
+			return fmt.Errorf("toktree: node %d depth %d, parent depth %d", i, n.Depth, p.Depth)
+		}
+		if n.PathProb > p.PathProb+1e-12 {
+			return fmt.Errorf("toktree: node %d path prob %g exceeds parent %g", i, n.PathProb, p.PathProb)
+		}
+		if n.DraftProb < 0 || n.DraftProb > 1+1e-12 {
+			return fmt.Errorf("toktree: node %d draft prob %g out of range", i, n.DraftProb)
+		}
+	}
+	for i := range t.Nodes {
+		ch := t.Nodes[i].Children
+		for k := 1; k < len(ch); k++ {
+			if t.Nodes[ch[k-1]].DraftProb < t.Nodes[ch[k]].DraftProb {
+				return fmt.Errorf("toktree: node %d children not sorted", i)
+			}
+		}
+		for _, c := range ch {
+			if t.Nodes[c].Parent != i {
+				return fmt.Errorf("toktree: child %d of %d has parent %d", c, i, t.Nodes[c].Parent)
+			}
+		}
+	}
+	return nil
+}
+
+// Selection marks which nodes of a candidate tree form the draft token tree
+// submitted for verification. The root is always selected.
+type Selection struct {
+	tree *Tree
+	// mask[i] reports whether node i is selected.
+	mask []bool
+	// count is the number of selected nodes (>= 1 for the root).
+	count int
+	// sumPathProb is Σ f(v) over selected nodes (== E[acc(T)]).
+	sumPathProb float64
+}
+
+// NewSelection creates a selection over t containing only the root.
+func NewSelection(t *Tree) *Selection {
+	s := &Selection{tree: t, mask: make([]bool, len(t.Nodes))}
+	s.mask[0] = true
+	s.count = 1
+	s.sumPathProb = 1
+	return s
+}
+
+// Add marks node id as selected. It panics if the node's parent is not
+// already selected (selections must be connected subtrees) or if the node is
+// already selected.
+func (s *Selection) Add(id int) {
+	if id <= 0 || id >= len(s.mask) {
+		panic(fmt.Sprintf("toktree: Selection.Add id %d out of range", id))
+	}
+	if s.mask[id] {
+		panic(fmt.Sprintf("toktree: node %d already selected", id))
+	}
+	if !s.mask[s.tree.Nodes[id].Parent] {
+		panic(fmt.Sprintf("toktree: node %d selected before parent %d", id, s.tree.Nodes[id].Parent))
+	}
+	s.mask[id] = true
+	s.count++
+	s.sumPathProb += s.tree.Nodes[id].PathProb
+}
+
+// Has reports whether node id is selected.
+func (s *Selection) Has(id int) bool { return id >= 0 && id < len(s.mask) && s.mask[id] }
+
+// Size returns the number of selected nodes including the root.
+func (s *Selection) Size() int { return s.count }
+
+// ExpectedAccept returns Σ f(v) over the selection: the expected number of
+// tokens this verification will commit (Theorem 3.1).
+func (s *Selection) ExpectedAccept() float64 { return s.sumPathProb }
+
+// Tree returns the underlying candidate tree.
+func (s *Selection) Tree() *Tree { return s.tree }
+
+// SelectedChildren returns the selected children of node id, in the tree's
+// (descending DraftProb) order.
+func (s *Selection) SelectedChildren(id int) []int {
+	var out []int
+	for _, c := range s.tree.Nodes[id].Children {
+		if s.mask[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate checks the connectivity invariant (Appendix B): every selected
+// node's parent is selected.
+func (s *Selection) Validate() error {
+	if !s.mask[0] {
+		return fmt.Errorf("toktree: root not selected")
+	}
+	n, sum := 0, 0.0
+	for i, sel := range s.mask {
+		if !sel {
+			continue
+		}
+		n++
+		sum += s.tree.Nodes[i].PathProb
+		if i != 0 && !s.mask[s.tree.Nodes[i].Parent] {
+			return fmt.Errorf("toktree: selected node %d has unselected parent", i)
+		}
+	}
+	if n != s.count {
+		return fmt.Errorf("toktree: count %d != recount %d", s.count, n)
+	}
+	if diff := sum - s.sumPathProb; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("toktree: sumPathProb %g != recount %g", s.sumPathProb, sum)
+	}
+	return nil
+}

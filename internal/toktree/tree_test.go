@@ -1,0 +1,251 @@
+package toktree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaserve/internal/lm"
+	"adaserve/internal/mathutil"
+)
+
+func buildSmallTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree(lm.Context{ReqSeed: 1}, 42)
+	a := tr.AddChild(0, 100, 0.7)
+	b := tr.AddChild(0, 101, 0.2)
+	c := tr.AddChild(a, 102, 0.6)
+	tr.AddChild(a, 103, 0.3)
+	tr.AddChild(b, 104, 0.5)
+	tr.AddChild(c, 105, 0.9)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTreeRoot(t *testing.T) {
+	tr := NewTree(lm.Context{ReqSeed: 1}, 42)
+	if tr.Size() != 1 || tr.Depth() != 0 {
+		t.Fatalf("fresh tree size=%d depth=%d", tr.Size(), tr.Depth())
+	}
+	root := tr.Nodes[0]
+	if root.Parent != -1 || root.PathProb != 1 || root.Token != 42 {
+		t.Fatalf("bad root %+v", root)
+	}
+}
+
+func TestAddChildPathProbs(t *testing.T) {
+	tr := buildSmallTree(t)
+	// Node 3 (token 102) is child of node 1 (0.7): path = 0.42.
+	var found bool
+	for _, n := range tr.Nodes {
+		if n.Token == 102 {
+			found = true
+			if diff := n.PathProb - 0.42; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("path prob %g, want 0.42", n.PathProb)
+			}
+			if n.Depth != 2 {
+				t.Fatalf("depth %d, want 2", n.Depth)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("node 102 missing")
+	}
+}
+
+func TestChildrenSortedByDraftProb(t *testing.T) {
+	tr := buildSmallTree(t)
+	ch := tr.Nodes[0].Children
+	if len(ch) != 2 {
+		t.Fatalf("root children %v", ch)
+	}
+	if tr.Nodes[ch[0]].DraftProb < tr.Nodes[ch[1]].DraftProb {
+		t.Fatal("children not sorted by descending draft prob")
+	}
+}
+
+func TestAddChildManyNodesKeepsParentLinks(t *testing.T) {
+	// Regression test for the slice-reallocation aliasing bug: adding many
+	// nodes must keep every child list reachable from its (possibly moved)
+	// parent.
+	tr := NewTree(lm.Context{ReqSeed: 2}, 0)
+	parent := 0
+	for i := 0; i < 200; i++ {
+		parent = tr.AddChild(parent, lm.Token(i), 0.9)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The chain must be fully connected: 200 nodes of strictly increasing
+	// depth, each the sole child of its parent.
+	cur := 0
+	for depth := 0; depth < 200; depth++ {
+		ch := tr.Nodes[cur].Children
+		if len(ch) != 1 {
+			t.Fatalf("node %d at depth %d has %d children", cur, depth, len(ch))
+		}
+		cur = ch[0]
+	}
+}
+
+func TestNodeCtxAndPathTokens(t *testing.T) {
+	tr := buildSmallTree(t)
+	// Find node 105: root -> 100 -> 102 -> 105.
+	var id int
+	for _, n := range tr.Nodes {
+		if n.Token == 105 {
+			id = n.ID
+		}
+	}
+	path := tr.PathTokens(id)
+	want := []lm.Token{100, 102, 105}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	ctx := tr.NodeCtx(id)
+	// Context at 105 includes tokens up to but excluding 105.
+	if len(ctx.Hist) != 2 || ctx.Hist[0] != 100 || ctx.Hist[1] != 102 {
+		t.Fatalf("node ctx hist %v", ctx.Hist)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := buildSmallTree(t)
+	tr.Nodes[2].PathProb = 2.0 // exceeds parent
+	if tr.Validate() == nil {
+		t.Fatal("validation missed excessive path prob")
+	}
+}
+
+func TestSelectionBasics(t *testing.T) {
+	tr := buildSmallTree(t)
+	sel := NewSelection(tr)
+	if !sel.Has(0) || sel.Size() != 1 || sel.ExpectedAccept() != 1 {
+		t.Fatal("fresh selection should hold only the root")
+	}
+	sel.Add(1)
+	sel.Add(3)
+	if sel.Size() != 3 {
+		t.Fatalf("size %d", sel.Size())
+	}
+	wantE := 1 + tr.Nodes[1].PathProb + tr.Nodes[3].PathProb
+	if diff := sel.ExpectedAccept() - wantE; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("E[acc] %g, want %g", sel.ExpectedAccept(), wantE)
+	}
+	if err := sel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionRejectsOrphanAdd(t *testing.T) {
+	tr := buildSmallTree(t)
+	sel := NewSelection(tr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adding a node before its parent did not panic")
+		}
+	}()
+	// Node with token 105 is at depth 3; its parent is unselected.
+	for _, n := range tr.Nodes {
+		if n.Token == 105 {
+			sel.Add(n.ID)
+		}
+	}
+}
+
+func TestSelectionRejectsDoubleAdd(t *testing.T) {
+	tr := buildSmallTree(t)
+	sel := NewSelection(tr)
+	sel.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double add did not panic")
+		}
+	}()
+	sel.Add(1)
+}
+
+func TestSelectedChildrenOrder(t *testing.T) {
+	tr := buildSmallTree(t)
+	sel := NewSelection(tr)
+	sel.Add(1)
+	sel.Add(2)
+	ch := sel.SelectedChildren(0)
+	if len(ch) != 2 || tr.Nodes[ch[0]].DraftProb < tr.Nodes[ch[1]].DraftProb {
+		t.Fatalf("selected children %v out of order", ch)
+	}
+}
+
+// TestTheorem31 verifies E[acc(T)] = Σ f(v) by Monte Carlo: the expected
+// number of tokens committed by sample-match verification over a selected
+// tree equals the sum of true path probabilities of selected nodes.
+func TestTheorem31(t *testing.T) {
+	target := lm.MustSyntheticLM("t", 3, 4096, 16, 3.2, 0.02)
+	draft := lm.MustDraftLM("d", target, 1.0, 4) // perfect draft: q = p = f
+	ctx := lm.Context{ReqSeed: 77}
+
+	br, err := BeamSearch(draft, ctx, 5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := br.Tree
+	sel := NewSelection(tr)
+	for id := 1; id < tr.Size(); id++ {
+		if sel.Has(tr.Nodes[id].Parent) {
+			sel.Add(id)
+		}
+	}
+	want := sel.ExpectedAccept() // Σ f(v) with calibrated f
+
+	rng := mathutil.NewRNG(123)
+	v := lm.NewVerifier(target, draft, lm.RuleSampleMatch, rng)
+	var total int
+	const n = 30000
+	for i := 0; i < n; i++ {
+		res := Verify(sel, v)
+		total += res.NumNewTokens()
+	}
+	got := float64(total) / n
+	if diff := got - want; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("Monte-Carlo E[acc] = %.3f, Theorem 3.1 predicts %.3f", got, want)
+	}
+}
+
+// TestSelectionConnectivityProperty is the Appendix B property: any
+// selection built by repeatedly adding the highest-f frontier node is a
+// connected subtree.
+func TestSelectionConnectivityProperty(t *testing.T) {
+	target := lm.MustSyntheticLM("t", 5, 4096, 16, 2.0, 0.02)
+	draft := lm.MustDraftLM("d", target, 0.8, 6)
+	err := quick.Check(func(seed uint64, budgetRaw uint8) bool {
+		budget := int(budgetRaw%20) + 1
+		br, err := BeamSearch(draft, lm.Context{ReqSeed: seed}, 0, 4, 3)
+		if err != nil {
+			return false
+		}
+		sel := NewSelection(br.Tree)
+		for i := 0; i < budget; i++ {
+			// Greedy: highest-PathProb unselected node whose parent is in.
+			best, bestP := -1, -1.0
+			for _, n := range br.Tree.Nodes[1:] {
+				if !sel.Has(n.ID) && sel.Has(n.Parent) && n.PathProb > bestP {
+					best, bestP = n.ID, n.PathProb
+				}
+			}
+			if best < 0 {
+				break
+			}
+			sel.Add(best)
+		}
+		return sel.Validate() == nil
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

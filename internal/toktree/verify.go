@@ -1,0 +1,74 @@
+package toktree
+
+import (
+	"adaserve/internal/lm"
+)
+
+// VerifyResult reports one tree-verification pass for one request.
+type VerifyResult struct {
+	// Accepted are the accepted draft tokens along the root path, in order.
+	Accepted []lm.Token
+	// Correction is the token the target committed after the accepted
+	// prefix: the resampled correction when a branch was rejected, or the
+	// bonus token when the walk ran past the last selected node.
+	Correction lm.Token
+	// AcceptedNodeIDs are the candidate-tree node IDs of Accepted.
+	AcceptedNodeIDs []int
+	// TokensVerified is the number of tree positions the target processed
+	// (== selection size), for cost accounting.
+	TokensVerified int
+}
+
+// NumNewTokens returns the number of tokens committed by this pass: the
+// accepted prefix plus the correction/bonus token. This equals acc(T) in the
+// paper's formulation (which counts the root).
+func (r *VerifyResult) NumNewTokens() int { return len(r.Accepted) + 1 }
+
+// Verify runs tree-based parallel verification of the selected subtree.
+//
+// Semantically the target scores every selected node in one batched pass
+// (cost = selection size); the commit walk then descends from the root: at
+// each node the verifier adjudicates among the selected children (ordered by
+// descending draft probability). Descent stops at the first rejection — the
+// rule's correction token is committed — or past the last selected node,
+// where the bonus token is drawn from the target distribution at that
+// context.
+func Verify(sel *Selection, v *lm.Verifier) *VerifyResult {
+	t := sel.Tree()
+	res := &VerifyResult{TokensVerified: sel.Size()}
+	cur := 0
+	ctx := t.Ctx
+	for {
+		children := sel.SelectedChildren(cur)
+		if len(children) == 0 {
+			// Past the last selected node: commit the bonus token.
+			res.Correction = bonusToken(v, ctx)
+			return res
+		}
+		branches := make([]lm.Branch, len(children))
+		for i, c := range children {
+			branches[i] = lm.Branch{Token: t.Nodes[c].Token}
+		}
+		idx, correction := v.AcceptAmong(ctx, branches)
+		if idx < 0 {
+			res.Correction = correction
+			return res
+		}
+		chosen := children[idx]
+		res.Accepted = append(res.Accepted, t.Nodes[chosen].Token)
+		res.AcceptedNodeIDs = append(res.AcceptedNodeIDs, chosen)
+		ctx = ctx.Extend(t.Nodes[chosen].Token)
+		cur = chosen
+	}
+}
+
+// bonusToken draws the extra token the target emits at the end of a fully
+// accepted path. Under the greedy rule it is the argmax; under the
+// stochastic rule it is a sample.
+func bonusToken(v *lm.Verifier, ctx lm.Context) lm.Token {
+	dist := v.Target.Dist(ctx)
+	if v.Rule == lm.RuleGreedy {
+		return dist.Argmax()
+	}
+	return dist.Sample(v.RNG)
+}

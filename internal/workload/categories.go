@@ -1,0 +1,126 @@
+// Package workload generates the paper's evaluation workloads: the three
+// application categories of Table 2 with their TPOT SLOs and length
+// distributions, mixed-category request streams, and the arrival traces of
+// Figures 7 and 13.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"adaserve/internal/mathutil"
+	"adaserve/internal/request"
+)
+
+// LengthDist is a clipped log-normal over token counts.
+type LengthDist struct {
+	// Median is exp(mu) of the underlying normal.
+	Median float64
+	// Sigma is the log-space standard deviation.
+	Sigma float64
+	// Min and Max clip the samples.
+	Min, Max int
+}
+
+// Sample draws one length.
+func (l LengthDist) Sample(rng *mathutil.RNG) int {
+	v := rng.LogNormal(logOf(l.Median), l.Sigma)
+	n := int(v + 0.5)
+	return mathutil.ClipInt(n, l.Min, l.Max)
+}
+
+func logOf(x float64) float64 {
+	if x <= 0 {
+		panic(fmt.Sprintf("workload: non-positive median %g", x))
+	}
+	return math.Log(x)
+}
+
+// CategorySpec defines one application category (Table 2).
+type CategorySpec struct {
+	Category request.Category
+	// App is the paper's application name.
+	App string
+	// Dataset names the dataset the lengths were matched to.
+	Dataset string
+	// SLOFactor, when > 0, sets TPOT SLO = SLOFactor × baseline decode
+	// latency (category 1: 1.2× baseline, per MLPerf interactive).
+	SLOFactor float64
+	// SLOAbs, when > 0, sets an absolute TPOT SLO in seconds.
+	SLOAbs float64
+	// Prompt and Output are token-length distributions matched to the
+	// dataset's statistics.
+	Prompt LengthDist
+	Output LengthDist
+}
+
+// TPOT resolves the category's SLO given the model's baseline per-token
+// decode latency.
+func (c CategorySpec) TPOT(baseline float64) float64 {
+	if c.SLOFactor > 0 {
+		return c.SLOFactor * baseline
+	}
+	return c.SLOAbs
+}
+
+// DefaultCategories returns the Table 2 categories:
+//
+//	Cat 1  coding copilot   SLO = 1.2 × baseline   (HumanEval-like)
+//	Cat 2  chatbot          SLO = 50 ms/token      (Alpaca-like)
+//	Cat 3  summarization    SLO = 150 ms/token     (CNN/DailyMail-like)
+//
+// Length distributions are matched to the public statistics of the
+// referenced datasets (HumanEval prompts ≈ 150–450 tokens; Alpaca turns are
+// short; CNN/DailyMail articles run to a few thousand tokens), which is the
+// only property of the datasets the serving layer observes.
+func DefaultCategories() []CategorySpec {
+	return []CategorySpec{
+		{
+			Category: request.Coding, App: "coding copilot", Dataset: "HumanEval",
+			SLOFactor: 1.2,
+			Prompt:    LengthDist{Median: 160, Sigma: 0.45, Min: 32, Max: 1024},
+			Output:    LengthDist{Median: 90, Sigma: 0.50, Min: 16, Max: 512},
+		},
+		{
+			Category: request.Chat, App: "chatbot", Dataset: "Alpaca",
+			SLOAbs: 0.050,
+			Prompt: LengthDist{Median: 60, Sigma: 0.70, Min: 16, Max: 1024},
+			Output: LengthDist{Median: 80, Sigma: 0.60, Min: 16, Max: 512},
+		},
+		{
+			Category: request.Summarization, App: "summarization", Dataset: "CNN/DailyMail",
+			SLOAbs: 0.150,
+			Prompt: LengthDist{Median: 700, Sigma: 0.40, Min: 256, Max: 4096},
+			Output: LengthDist{Median: 80, Sigma: 0.35, Min: 32, Max: 512},
+		},
+	}
+}
+
+// Mix is a probability distribution over the categories.
+type Mix [request.NumCategories]float64
+
+// Validate checks the mix sums to ~1.
+func (m Mix) Validate() error {
+	var s float64
+	for _, p := range m {
+		if p < 0 {
+			return fmt.Errorf("workload: negative mix weight %g", p)
+		}
+		s += p
+	}
+	if s < 0.999 || s > 1.001 {
+		return fmt.Errorf("workload: mix sums to %g", s)
+	}
+	return nil
+}
+
+// DefaultMix is the end-to-end evaluation mix: 60% category 1, 20% each of
+// categories 2 and 3 ("a peak load scenario for latency-critical tasks").
+var DefaultMix = Mix{0.6, 0.2, 0.2}
+
+// UrgentMix returns the Figure 10 mix: urgent fraction of category-1
+// requests, remainder split evenly between categories 2 and 3.
+func UrgentMix(urgent float64) Mix {
+	rest := (1 - urgent) / 2
+	return Mix{urgent, rest, rest}
+}

@@ -10,7 +10,7 @@
 //	adaserve-bench -exp fig10,fig11 -duration 120 -seed 7
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, ablations.
+// fig15, ablations, cluster (replica scaling × router policy).
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,all)")
 	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -81,10 +81,23 @@ func main() {
 		if all || want["ablations"] {
 			runAblations(setup, opts)
 		}
+		if all || want["cluster"] {
+			runClusterScaling(setup, opts)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
 	}
+}
+
+func runClusterScaling(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Printf("\n--- Replica scaling: attainment vs replica count x router (%.1f rps per replica) ---\n",
+		experiments.ClusterPerReplicaRPS(setup))
+	pts, err := experiments.ClusterScaling(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderClusterScaling(pts))
 }
 
 func runHardware(setup experiments.ModelSetup) {

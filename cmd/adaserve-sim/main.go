@@ -2,10 +2,17 @@
 // and dumps the full metric summary — the single-run counterpart of
 // adaserve-bench's sweeps.
 //
+// With -replicas > 1 it runs a multi-replica cluster instead: N independent
+// copies of the system behind the chosen router policy, fed from one global
+// arrival stream, reporting cluster-aggregate and per-replica metrics. In
+// cluster mode -rps is the per-replica rate (the trace carries
+// rps × replicas requests per second).
+//
 // Usage:
 //
 //	adaserve-sim -system AdaServe -model llama -rps 3.8 -duration 120
 //	adaserve-sim -system "vLLM-Spec (6)" -urgent 0.7 -slo-scale 0.8
+//	adaserve-sim -replicas 4 -router slo-aware
 package main
 
 import (
@@ -13,8 +20,10 @@ import (
 	"fmt"
 	"log"
 
+	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
 	"adaserve/internal/mathutil"
+	"adaserve/internal/request"
 	"adaserve/internal/sim"
 	"adaserve/internal/workload"
 )
@@ -22,12 +31,18 @@ import (
 func main() {
 	system := flag.String("system", "AdaServe", "serving system name (AdaServe, vLLM, Sarathi-Serve, vLLM-Spec (4|6|8), vLLM + Priority, FastServe, VTC, AdaServe (interleaved))")
 	model := flag.String("model", "llama", "model setup: llama or qwen")
-	rps := flag.Float64("rps", 3.8, "mean request rate")
+	rps := flag.Float64("rps", 3.8, "mean request rate (per replica in cluster mode)")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	urgent := flag.Float64("urgent", 0, "urgent-request proportion (0 = default 60/20/20 mix)")
 	sloScale := flag.Float64("slo-scale", 1.0, "scale applied to the most urgent SLO")
+	replicas := flag.Int("replicas", 1, "number of serving replicas (cluster mode when > 1)")
+	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
+
+	if *replicas < 1 {
+		log.Fatalf("-replicas %d: need at least 1", *replicas)
+	}
 
 	var setup experiments.ModelSetup
 	switch *model {
@@ -47,12 +62,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts := workload.RealTrace(mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), *rps, *duration)
+	totalRPS := *rps * float64(*replicas)
+	ts := workload.RealTrace(mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), totalRPS, *duration)
 	reqs := gen.FromTimestamps(ts)
 	st := workload.StreamStats(reqs)
 	fmt.Printf("model: %s (baseline %.1f ms/token)\n", setup.Name, 1e3*setup.BaselineLatency())
 	fmt.Printf("trace: %d requests, %.2f rps, mean prompt %.0f, mean output %.0f\n",
 		st.Requests, st.MeanRPS, st.MeanPrompt, st.MeanOutput)
+
+	if *replicas > 1 {
+		runCluster(experiments.SystemKind(*system), setup, *replicas, *router, *seed, reqs)
+		return
+	}
 
 	sys, err := experiments.Build(experiments.SystemKind(*system), setup, experiments.BuildOptions{Seed: *seed})
 	if err != nil {
@@ -72,4 +93,23 @@ func main() {
 		100*b.Scheduling/b.Total(), 100*b.Speculation/b.Total(),
 		100*b.Verification/b.Total(), 100*b.Prefill/b.Total())
 	fmt.Printf("simulated: %.1fs over %d iterations\n", res.EndTime, res.Iterations)
+}
+
+func runCluster(kind experiments.SystemKind, setup experiments.ModelSetup, n int, router string, seed uint64, reqs []*request.Request) {
+	cl, err := experiments.BuildCluster(kind, setup, n, router, experiments.BuildOptions{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cl.Run(reqs, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	fmt.Println()
+	fmt.Println(s)
+	fmt.Printf("\ncluster: attainment %.1f%% | goodput %.1f tok/s | request imbalance %.2f\n",
+		100*s.Attainment(), s.Goodput(), s.RequestImbalance())
+	fmt.Printf("throughput %.1f tok/s | mean TTFT %.2fs | p50 TPOT %.1fms | p99 TPOT %.1fms\n",
+		s.Aggregate.Throughput, s.Aggregate.MeanTTFT, 1e3*s.Aggregate.P50TPOT(), 1e3*s.Aggregate.P99TPOT())
+	fmt.Printf("simulated: %.1fs over %d iterations across %d replicas\n", res.EndTime, res.Iterations, n)
 }

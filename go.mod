@@ -1,0 +1,3 @@
+module adaserve
+
+go 1.24

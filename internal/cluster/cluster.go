@@ -1,0 +1,285 @@
+// Package cluster simulates a multi-replica serving deployment: N
+// independently clocked replicas — each a complete serving system from
+// internal/sched with its own engine, KV cache and request pool — fed from
+// one global arrival stream by a pluggable Router.
+//
+// The driver generalizes internal/sim.Run to per-replica clocks. Each
+// replica advances at its own iteration granularity; an arrival is routed
+// once every replica that still has runnable work has simulated past the
+// arrival instant, so routing observes each replica's most recent
+// iteration-boundary state — the same boundary-visibility rule the
+// single-replica driver uses, and the (slightly stale) load signal a
+// production router in front of independently batching replicas would have.
+// All tie-breaking is by lowest replica index, so runs are deterministic
+// under a fixed seed.
+package cluster
+
+import (
+	"fmt"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/sched"
+)
+
+// Replica is one serving instance inside a cluster: a sched.System plus the
+// per-replica simulation state (local clock, iteration accounting, and the
+// requests routed to it).
+type Replica struct {
+	id         int
+	sys        sched.System
+	clock      float64
+	iterations int
+	breakdown  metrics.Breakdown
+	routed     []*request.Request
+}
+
+// ID returns the replica's index within the cluster.
+func (rep *Replica) ID() int { return rep.id }
+
+// System returns the wrapped serving system.
+func (rep *Replica) System() sched.System { return rep.sys }
+
+// Clock returns the replica's local simulated time: the end of its last
+// executed iteration (or the last arrival it received while idle).
+func (rep *Replica) Clock() float64 { return rep.clock }
+
+// Routed returns the number of requests routed to this replica so far.
+func (rep *Replica) Routed() int { return len(rep.routed) }
+
+// hasWork reports whether the replica has waiting or running requests.
+func (rep *Replica) hasWork() bool {
+	p := rep.sys.Pool()
+	return p.NumWaiting() > 0 || p.NumRunning() > 0
+}
+
+// remainingTokens is a request's outstanding work: prompt tokens not yet
+// prefilled plus output tokens not yet generated.
+func remainingTokens(r *request.Request) int {
+	if r.Phase == request.Done {
+		return 0
+	}
+	return r.RemainingPrefill() + r.MaxNewTokens - r.OutputLen()
+}
+
+// QueuedTokens returns the replica's outstanding work in tokens, summed over
+// its waiting and running requests. This is the load signal the
+// least-loaded router balances on (the SLO-aware router balances resident
+// headcount instead — see ActiveRequests).
+func (rep *Replica) QueuedTokens() int {
+	p := rep.sys.Pool()
+	n := 0
+	for _, r := range p.Waiting() {
+		n += remainingTokens(r)
+	}
+	for _, r := range p.Running() {
+		n += remainingTokens(r)
+	}
+	return n
+}
+
+// ActiveRequests counts the replica's resident (waiting or running,
+// unfinished) requests split into latency-critical (TPOT SLO <= cutoff) and
+// batch-tolerant shares. Headcount — not queued tokens — is the contention
+// signal the SLO-aware router balances: every resident request claims a
+// share of each iteration's verification budget for its whole decode
+// residence, so headcount is what dilutes a tight request's token
+// allowance.
+func (rep *Replica) ActiveRequests(cutoff float64) (tight, relaxed int) {
+	p := rep.sys.Pool()
+	count := func(r *request.Request) {
+		if r.Phase == request.Done {
+			return
+		}
+		if r.TPOTSLO <= cutoff {
+			tight++
+		} else {
+			relaxed++
+		}
+	}
+	for _, r := range p.Waiting() {
+		count(r)
+	}
+	for _, r := range p.Running() {
+		count(r)
+	}
+	return tight, relaxed
+}
+
+// Cluster is a set of replicas behind a router. Like a sched.System, a
+// Cluster is single-use: build a fresh one per run.
+type Cluster struct {
+	replicas []*Replica
+	router   Router
+}
+
+// New builds a cluster from ready-to-run serving systems and a router.
+func New(systems []sched.System, router Router) (*Cluster, error) {
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas")
+	}
+	if router == nil {
+		return nil, fmt.Errorf("cluster: router required")
+	}
+	c := &Cluster{router: router}
+	for i, sys := range systems {
+		if sys == nil {
+			return nil, fmt.Errorf("cluster: replica %d is nil", i)
+		}
+		c.replicas = append(c.replicas, &Replica{id: i, sys: sys})
+	}
+	return c, nil
+}
+
+// Replicas returns the cluster's replicas in ID order.
+func (c *Cluster) Replicas() []*Replica { return c.replicas }
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// Name identifies the cluster configuration in reports.
+func (c *Cluster) Name() string {
+	return fmt.Sprintf("%s x%d [%s]", c.replicas[0].sys.Name(), len(c.replicas), c.router.Name())
+}
+
+// Options bounds a cluster run.
+type Options struct {
+	// MaxSimTime aborts runs when any replica's clock exceeds this (0: 24h).
+	MaxSimTime float64
+	// MaxIterations aborts runaway runs; it counts iterations summed across
+	// replicas (0: 50 million).
+	MaxIterations int
+}
+
+// ReplicaResult reports one replica's share of a completed run.
+type ReplicaResult struct {
+	// Summary covers the requests routed to this replica.
+	Summary *metrics.Summary
+	// Iterations is the replica's scheduling-iteration count.
+	Iterations int
+	// EndTime is the replica's final local clock.
+	EndTime float64
+}
+
+// Result reports a completed cluster run.
+type Result struct {
+	// Summary is the cluster-aggregate plus per-replica metric summaries.
+	Summary *metrics.ClusterSummary
+	// PerReplica holds per-replica simulation results in ID order.
+	PerReplica []ReplicaResult
+	// Iterations is the total iteration count across replicas.
+	Iterations int
+	// EndTime is the simulated completion time of the last request on any
+	// replica.
+	EndTime float64
+}
+
+// Run drives the cluster over the request trace until every request is done.
+// Arrivals are routed in (arrival time, ID) order; each routed request is
+// enqueued on exactly one replica and stays there (no migration).
+func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
+	if opts.MaxSimTime == 0 {
+		opts.MaxSimTime = 24 * 3600
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 50_000_000
+	}
+	ordered, err := request.OrderForReplay(reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	next := 0
+	for {
+		// The next replica to act is the busy one with the smallest clock
+		// (lowest ID on ties). Arrivals at or before that clock are routed
+		// first, so every routing decision sees all replicas advanced past
+		// the arrival instant.
+		busy := -1
+		for i, rep := range c.replicas {
+			if rep.hasWork() && (busy < 0 || rep.clock < c.replicas[busy].clock) {
+				busy = i
+			}
+		}
+		if next < len(ordered) && (busy < 0 || ordered[next].ArrivalTime <= c.replicas[busy].clock) {
+			r := ordered[next]
+			idx := c.router.Route(r, c.replicas)
+			if idx < 0 || idx >= len(c.replicas) {
+				return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
+					c.router.Name(), idx, len(c.replicas))
+			}
+			rep := c.replicas[idx]
+			if rep.clock < r.ArrivalTime {
+				rep.clock = r.ArrivalTime
+			}
+			rep.sys.Pool().Enqueue(r)
+			rep.routed = append(rep.routed, r)
+			next++
+			continue
+		}
+		if busy < 0 {
+			break // every request routed and retired
+		}
+		rep := c.replicas[busy]
+		st := rep.sys.Iterate(rep.clock)
+		if st.Idle {
+			// The Iterate call may have just retired the replica's final
+			// requests; the top of the loop re-checks emptiness. A replica
+			// stuck with unrunnable work parks at the next arrival (which
+			// may or may not be routed to it); with no arrivals left it can
+			// never progress: a genuine deadlock.
+			if !rep.hasWork() {
+				continue
+			}
+			if next < len(ordered) {
+				if t := ordered[next].ArrivalTime; rep.clock < t {
+					rep.clock = t
+				}
+				continue
+			}
+			p := rep.sys.Pool()
+			return nil, fmt.Errorf("cluster: replica %d (%s) deadlocked at t=%.3fs with %d waiting / %d running",
+				rep.id, rep.sys.Name(), rep.clock, p.NumWaiting(), p.NumRunning())
+		}
+		if st.Elapsed <= 0 {
+			return nil, fmt.Errorf("cluster: replica %d (%s) reported non-positive elapsed %g",
+				rep.id, rep.sys.Name(), st.Elapsed)
+		}
+		rep.clock += st.Elapsed
+		rep.iterations++
+		res.Iterations++
+		rep.breakdown.Scheduling += st.SchedCPU
+		rep.breakdown.Speculation += st.SpecTime
+		rep.breakdown.Verification += st.VerifyTime
+		rep.breakdown.Prefill += st.PrefillTime
+		if rep.clock > opts.MaxSimTime {
+			return nil, fmt.Errorf("cluster: replica %d (%s) exceeded max simulated time %.0fs",
+				rep.id, rep.sys.Name(), opts.MaxSimTime)
+		}
+		if res.Iterations > opts.MaxIterations {
+			return nil, fmt.Errorf("cluster: exceeded max iterations %d", opts.MaxIterations)
+		}
+	}
+
+	var total metrics.Breakdown
+	var perReplica []*metrics.Summary
+	for _, rep := range c.replicas {
+		total.Add(rep.breakdown)
+		sum := metrics.Summarize(fmt.Sprintf("replica %d", rep.id), rep.routed, rep.breakdown)
+		perReplica = append(perReplica, sum)
+		res.PerReplica = append(res.PerReplica, ReplicaResult{
+			Summary:    sum,
+			Iterations: rep.iterations,
+			EndTime:    rep.clock,
+		})
+		if rep.clock > res.EndTime {
+			res.EndTime = rep.clock
+		}
+	}
+	res.Summary = &metrics.ClusterSummary{
+		Aggregate: metrics.Summarize(c.Name(), reqs, total),
+		Replicas:  perReplica,
+	}
+	return res, nil
+}

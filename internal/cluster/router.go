@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+
+	"adaserve/internal/request"
+)
+
+// Router assigns each arriving request to a replica. Implementations must
+// be deterministic: identical replica and router state must yield the same
+// pick (ties break by lowest index or by an explicit rotating cursor,
+// never by map order or randomness). Routers may keep internal state; a
+// Router instance belongs to one Cluster.
+type Router interface {
+	// Name identifies the policy in reports (e.g. "slo-aware").
+	Name() string
+	// Route returns the index of the replica that receives r.
+	Route(r *request.Request, replicas []*Replica) int
+}
+
+// RoundRobin cycles through replicas in index order, ignoring load — the
+// baseline policy every load balancer implements.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a round-robin router starting at replica 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Router.
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Route implements Router.
+func (rr *RoundRobin) Route(_ *request.Request, replicas []*Replica) int {
+	i := rr.next % len(replicas)
+	rr.next = (rr.next + 1) % len(replicas)
+	return i
+}
+
+// LeastLoaded routes every request to the replica with the fewest queued
+// tokens (outstanding prefill + ungenerated output), which corrects the
+// load imbalance round-robin accumulates under heterogeneous request sizes.
+type LeastLoaded struct{}
+
+// Name implements Router.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Route implements Router.
+func (LeastLoaded) Route(_ *request.Request, replicas []*Replica) int {
+	best, bestTokens := 0, replicas[0].QueuedTokens()
+	for i, rep := range replicas[1:] {
+		if t := rep.QueuedTokens(); t < bestTokens {
+			best, bestTokens = i+1, t
+		}
+	}
+	return best
+}
+
+// DefaultTightSLO is the TPOT-SLO cutoff (seconds) below which SLOAware
+// treats a request as latency-critical. 100 ms sits between the chatbot
+// SLO (50 ms) and the summarization SLO (150 ms) of Table 2, so the
+// default splits the paper's workload into {coding, chat} vs
+// {summarization}.
+const DefaultTightSLO = 0.100
+
+// SLOAware routes each SLO class separately and adapts to urgent pressure.
+//
+// In steady state both classes balance independently: a latency-critical
+// request goes to the least-contended replica (fewest resident
+// latency-critical requests, so tight-TPOT requests avoid diluting each
+// other's share of the per-iteration speculation budget), and a
+// batch-tolerant request fills the replica with the least batch-tolerant
+// work. The contention signal is resident requests, not queued tokens:
+// every resident request claims a budget share for its whole decode
+// residence. Ties rotate through a per-class cursor (degrading to
+// per-class round-robin on equally contended replicas) rather than
+// dog-piling the lowest index.
+//
+// During overload bursts (mean resident tight requests past
+// PressureThreshold, clusters of 3+), the policy flips to a sacrificial
+// partition: batch-tolerant work consolidates onto an "island" replica —
+// the one already holding the most of it — while new tight requests
+// exclude the island. Consolidation matters because the engine co-batches
+// prefill with verification: a multi-thousand-token summarization prompt
+// inflates every co-resident request's iteration times, so spreading such
+// work "fairly" during a burst poisons tight requests on every replica,
+// while packing it keeps the remaining replicas clean for urgent traffic —
+// the relaxed SLOs absorb the co-batching. A headcount cap
+// (ConsolidateFactor × the cluster-mean residency) bounds the sacrifice;
+// past it, relaxed work spreads again.
+type SLOAware struct {
+	// TightSLO overrides the latency-critical cutoff (0: DefaultTightSLO).
+	TightSLO float64
+	// ConsolidateFactor caps a relaxed-consolidation target's total
+	// residency at this multiple of the cluster mean, plus constant slack
+	// for cold starts (0: DefaultConsolidateFactor).
+	ConsolidateFactor float64
+	// PressureThreshold is the mean resident tight requests per replica
+	// above which relaxed traffic consolidates instead of spreading
+	// (0: DefaultPressureThreshold).
+	PressureThreshold float64
+
+	tightCursor, relaxedCursor int
+}
+
+// DefaultConsolidateFactor is the relaxed-consolidation headroom: a replica
+// may absorb batch-tolerant work until it holds twice the cluster-mean
+// residency.
+const DefaultConsolidateFactor = 2.0
+
+// DefaultPressureThreshold is the urgent-pressure trigger for relaxed
+// consolidation: steady state at the evaluated loads keeps a handful of
+// tight requests resident per replica, while overload bursts push well
+// past ten.
+const DefaultPressureThreshold = 8
+
+// Name implements Router.
+func (s *SLOAware) Name() string { return "slo-aware" }
+
+// residency is one replica's (tight, relaxed) resident-request counts,
+// snapshotted once per routing decision.
+type residency struct {
+	tight, relaxed int
+}
+
+// Route implements Router.
+func (s *SLOAware) Route(r *request.Request, replicas []*Replica) int {
+	cutoff := s.TightSLO
+	if cutoff <= 0 {
+		cutoff = DefaultTightSLO
+	}
+	// Snapshot every replica's residency once; island/routeTight/
+	// routeRelaxed all read this snapshot rather than rescanning pools.
+	res := make([]residency, len(replicas))
+	for i, rep := range replicas {
+		t, x := rep.ActiveRequests(cutoff)
+		res[i] = residency{tight: t, relaxed: x}
+	}
+	island := s.island(res)
+	if r.TPOTSLO <= cutoff {
+		return s.routeTight(res, island)
+	}
+	return s.routeRelaxed(res, island)
+}
+
+// island selects the sacrificial replica that absorbs batch-tolerant work
+// while urgent pressure is high: the one already holding the most relaxed
+// requests (ties prefer fewer resident tight requests, then the lowest
+// index, so the target stays stable). It returns -1 — both classes spread
+// — when pressure is low (mean resident tight requests per replica under
+// the threshold) or the cluster is too small to afford a sacrifice:
+// islanding one of two replicas halves urgent capacity exactly when the
+// cluster is overloaded, so it needs at least three.
+func (s *SLOAware) island(res []residency) int {
+	if len(res) < 3 {
+		return -1
+	}
+	pressure := s.PressureThreshold
+	if pressure <= 0 {
+		pressure = DefaultPressureThreshold
+	}
+	tightTotal := 0
+	for _, r := range res {
+		tightTotal += r.tight
+	}
+	if float64(tightTotal)/float64(len(res)) < pressure {
+		return -1
+	}
+	best, bestRelaxed, bestTight := -1, 0, 0
+	for i, r := range res {
+		if best < 0 || r.relaxed > bestRelaxed || (r.relaxed == bestRelaxed && r.tight < bestTight) {
+			best, bestRelaxed, bestTight = i, r.relaxed, r.tight
+		}
+	}
+	return best
+}
+
+// routeTight picks the replica with the fewest resident latency-critical
+// requests, tie-breaking on total residency (avoiding replicas thick with
+// relaxed work), then on the rotating class cursor. Under urgent pressure
+// the island is excluded: keeping new tight requests off the sacrificial
+// replica is what preserves clean replicas for urgent traffic.
+func (s *SLOAware) routeTight(res []residency, island int) int {
+	best, bestTight, bestTotal := -1, 0, 0
+	for off := 0; off < len(res); off++ {
+		i := (s.tightCursor + off) % len(res)
+		if i == island {
+			continue
+		}
+		tight, total := res[i].tight, res[i].tight+res[i].relaxed
+		if best < 0 || tight < bestTight || (tight == bestTight && total < bestTotal) {
+			best, bestTight, bestTotal = i, tight, total
+		}
+	}
+	s.tightCursor = (best + 1) % len(res)
+	return best
+}
+
+// routeRelaxed places batch-tolerant work. While urgent pressure is low
+// (no island) it spreads by least relaxed residency with the rotating
+// cursor — with budget headroom everywhere, filling all replicas maximizes
+// throughput. Under urgent pressure it packs onto the island, bounded by
+// the consolidation cap; past the cap it spreads again.
+func (s *SLOAware) routeRelaxed(res []residency, island int) int {
+	if island >= 0 {
+		factor := s.ConsolidateFactor
+		if factor <= 0 {
+			factor = DefaultConsolidateFactor
+		}
+		total := 0
+		for _, r := range res {
+			total += r.tight + r.relaxed
+		}
+		if islandTotal := res[island].tight + res[island].relaxed; float64(islandTotal) < factor*float64(total)/float64(len(res))+4 {
+			return island
+		}
+	}
+	// Low pressure (or the island is saturated): spread by least relaxed
+	// residency.
+	best, bestRelaxed := -1, 0
+	for off := 0; off < len(res); off++ {
+		i := (s.relaxedCursor + off) % len(res)
+		if best < 0 || res[i].relaxed < bestRelaxed {
+			best, bestRelaxed = i, res[i].relaxed
+		}
+	}
+	s.relaxedCursor = (best + 1) % len(res)
+	return best
+}
+
+// RouterNames lists the built-in policies accepted by NewRouter.
+func RouterNames() []string { return []string{"round-robin", "least-loaded", "slo-aware"} }
+
+// NewRouter builds a built-in router by name.
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "slo-aware":
+		return &SLOAware{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown router %q (have round-robin, least-loaded, slo-aware)", name)
+	}
+}

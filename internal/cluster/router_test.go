@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"testing"
+
+	"adaserve/internal/request"
+)
+
+// loadReplica enqueues a synthetic request with the given outstanding
+// output tokens and TPOT SLO onto a replica, to set up router-policy
+// scenarios (a 1-token prompt keeps QueuedTokens within 1 of the decode
+// load, so both token-based policies see the intended ordering).
+func loadReplica(rep *Replica, id, tokens int, slo float64) {
+	rep.System().Pool().Enqueue(request.New(id, request.Chat, slo, 0, 1, tokens, uint64(id)+1))
+}
+
+func tightReq(id int) *request.Request {
+	return request.New(id, request.Coding, 0.030, 0, 16, 4, uint64(id)+1)
+}
+
+func relaxedReq(id int) *request.Request {
+	return request.New(id, request.Summarization, 0.150, 0, 16, 4, uint64(id)+1)
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	c := fakeCluster(t, 3, nil)
+	rr := NewRoundRobin()
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := rr.Route(tightReq(i), c.Replicas()); got != w {
+			t.Fatalf("pick %d: got replica %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastLoadedPicksFewestQueuedTokens(t *testing.T) {
+	c := fakeCluster(t, 3, nil)
+	reps := c.Replicas()
+	loadReplica(reps[0], 100, 300, 0.05)
+	loadReplica(reps[1], 101, 100, 0.05)
+	loadReplica(reps[2], 102, 200, 0.05)
+	if got := (LeastLoaded{}).Route(tightReq(1), reps); got != 1 {
+		t.Fatalf("picked replica %d, want 1 (lightest)", got)
+	}
+}
+
+func TestLeastLoadedTieBreaksByLowestIndex(t *testing.T) {
+	c := fakeCluster(t, 3, nil)
+	reps := c.Replicas()
+	loadReplica(reps[0], 100, 200, 0.05)
+	// Replicas 1 and 2 tie at 100 tokens: lowest index wins.
+	loadReplica(reps[1], 101, 100, 0.05)
+	loadReplica(reps[2], 102, 100, 0.05)
+	if got := (LeastLoaded{}).Route(tightReq(1), reps); got != 1 {
+		t.Fatalf("picked replica %d, want 1 (tie broken by index)", got)
+	}
+	if got := (LeastLoaded{}).Route(tightReq(2), fakeCluster(t, 4, nil).Replicas()); got != 0 {
+		t.Fatalf("picked replica %d on empty cluster, want 0", got)
+	}
+}
+
+func TestSLOAwareSpreadsTightRequestsByUrgentLoad(t *testing.T) {
+	c := fakeCluster(t, 3, nil)
+	reps := c.Replicas()
+	// Replica 0: heavy urgent load. Replica 1: heavy but relaxed load.
+	// Replica 2: moderate urgent load. A tight request must avoid urgent
+	// contention (replica 1), not total load (replica 2 is lightest).
+	loadReplica(reps[0], 100, 400, 0.030)
+	loadReplica(reps[1], 101, 500, 0.150)
+	loadReplica(reps[2], 102, 200, 0.030)
+	s := &SLOAware{}
+	if got := s.Route(tightReq(1), reps); got != 1 {
+		t.Fatalf("tight request to replica %d, want 1 (zero urgent load)", got)
+	}
+}
+
+func TestSLOAwareFillsRelaxedWorkByRelaxedLoad(t *testing.T) {
+	c := fakeCluster(t, 3, nil)
+	reps := c.Replicas()
+	// Replica 0: urgent-only load. Replica 1: relaxed load. Replica 2:
+	// larger relaxed load. A batch-tolerant request fills the replica with
+	// the least batch-tolerant work — replica 0, despite its urgent queue.
+	loadReplica(reps[0], 100, 400, 0.030)
+	loadReplica(reps[1], 101, 100, 0.150)
+	loadReplica(reps[2], 102, 300, 0.150)
+	s := &SLOAware{}
+	if got := s.Route(relaxedReq(1), reps); got != 0 {
+		t.Fatalf("relaxed request to replica %d, want 0 (no relaxed load)", got)
+	}
+}
+
+func TestSLOAwareTieBreaksOnTotalThenCursor(t *testing.T) {
+	c := fakeCluster(t, 3, nil)
+	reps := c.Replicas()
+	// No replica holds urgent work; replica 0 holds two relaxed requests,
+	// replicas 1 and 2 one each. A tight request ties on tight residency
+	// (0 everywhere) and must take the lowest total residency, scanning
+	// from the class cursor (fresh router: replica 0), so replica 1 wins.
+	loadReplica(reps[0], 100, 300, 0.150)
+	loadReplica(reps[0], 103, 100, 0.150)
+	loadReplica(reps[1], 101, 100, 0.150)
+	loadReplica(reps[2], 102, 100, 0.150)
+	s := &SLOAware{}
+	if got := s.Route(tightReq(1), reps); got != 1 {
+		t.Fatalf("tight request to replica %d, want 1 (lowest total residency)", got)
+	}
+	// Empty cluster: everything ties, and the fresh cursor starts at 0.
+	if got := s.Route(relaxedReq(2), fakeCluster(t, 4, nil).Replicas()); got != 0 {
+		t.Fatalf("relaxed request to replica %d on empty cluster, want 0", got)
+	}
+}
+
+func TestSLOAwareCursorRotatesThroughTies(t *testing.T) {
+	// On a persistently tied (empty) cluster the per-class cursors must
+	// rotate — per-class round-robin — rather than dog-pile replica 0.
+	// Fake replicas stay empty because Route alone never enqueues.
+	c := fakeCluster(t, 3, nil)
+	s := &SLOAware{}
+	for i, want := range []int{0, 1, 2, 0} {
+		if got := s.Route(tightReq(i), c.Replicas()); got != want {
+			t.Fatalf("tight pick %d: replica %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range []int{0, 1, 2, 0} {
+		if got := s.Route(relaxedReq(10+i), c.Replicas()); got != want {
+			t.Fatalf("relaxed pick %d: replica %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSLOAwareCutoffClassifies(t *testing.T) {
+	s := &SLOAware{TightSLO: 0.040}
+	c := fakeCluster(t, 2, nil)
+	reps := c.Replicas()
+	loadReplica(reps[0], 100, 100, 0.030) // urgent under the custom cutoff
+	loadReplica(reps[1], 101, 50, 0.150)  // relaxed load on replica 1
+	// Chat (50 ms) is relaxed under cutoff 40 ms: it balances on relaxed
+	// load, and replica 0 has none (its queue is all urgent).
+	chat := request.New(1, request.Chat, 0.050, 0, 16, 4, 3)
+	if got := s.Route(chat, reps); got != 0 {
+		t.Fatalf("chat routed to %d under 40ms cutoff, want 0", got)
+	}
+	// Coding (30 ms) is tight: it avoids replica 0's urgent queue.
+	if got := s.Route(tightReq(2), reps); got != 1 {
+		t.Fatalf("coding routed to %d under 40ms cutoff, want 1", got)
+	}
+}
+
+// pressureCluster builds a 3-replica cluster loaded past the SLO-aware
+// pressure threshold: every replica holds `tight` urgent requests, and
+// replica `islandIdx` additionally holds `relaxed` batch-tolerant ones,
+// making it the consolidation island.
+func pressureCluster(t *testing.T, tight, relaxed, islandIdx int) *Cluster {
+	t.Helper()
+	c := fakeCluster(t, 3, nil)
+	id := 1000
+	for _, rep := range c.Replicas() {
+		for k := 0; k < tight; k++ {
+			loadReplica(rep, id, 50, 0.030)
+			id++
+		}
+	}
+	for k := 0; k < relaxed; k++ {
+		loadReplica(c.Replicas()[islandIdx], id, 50, 0.150)
+		id++
+	}
+	return c
+}
+
+func TestSLOAwareIslandConsolidatesRelaxedUnderPressure(t *testing.T) {
+	// Mean tight residency 10 >= DefaultPressureThreshold: the island (the
+	// replica with the most relaxed work) absorbs new relaxed requests.
+	c := pressureCluster(t, 10, 3, 1)
+	s := &SLOAware{}
+	for i := 0; i < 3; i++ {
+		if got := s.Route(relaxedReq(i), c.Replicas()); got != 1 {
+			t.Fatalf("relaxed pick %d: replica %d, want island 1", i, got)
+		}
+	}
+}
+
+func TestSLOAwareTightAvoidsIslandUnderPressure(t *testing.T) {
+	// Under pressure new tight requests must exclude the island even
+	// though the non-island replicas hold equal tight residency.
+	c := pressureCluster(t, 10, 3, 1)
+	s := &SLOAware{}
+	for i, want := range []int{0, 2, 0, 2} {
+		if got := s.Route(tightReq(i), c.Replicas()); got != want {
+			t.Fatalf("tight pick %d: replica %d, want %d (island 1 excluded)", i, got, want)
+		}
+	}
+}
+
+func TestSLOAwareIslandCapFallsBackToSpreading(t *testing.T) {
+	// The island holds far more than ConsolidateFactor x mean residency:
+	// relaxed traffic must spread to the least-relaxed replica instead.
+	c := pressureCluster(t, 10, 60, 1)
+	s := &SLOAware{}
+	if got := s.Route(relaxedReq(1), c.Replicas()); got == 1 {
+		t.Fatal("relaxed request packed onto a saturated island")
+	}
+}
+
+func TestSLOAwareNoIslandBelowPressureOrOnSmallClusters(t *testing.T) {
+	// Below the pressure threshold the relaxed stream spreads: replica 1
+	// holds the most relaxed work but must not attract more.
+	c := pressureCluster(t, 3, 2, 1)
+	s := &SLOAware{}
+	if got := s.Route(relaxedReq(1), c.Replicas()); got == 1 {
+		t.Fatal("relaxed request consolidated without urgent pressure")
+	}
+	// Two-replica clusters never island, whatever the pressure: islanding
+	// half the cluster would halve urgent capacity exactly at overload.
+	c2 := fakeCluster(t, 2, nil)
+	id := 2000
+	for _, rep := range c2.Replicas() {
+		for k := 0; k < 12; k++ {
+			loadReplica(rep, id, 50, 0.030)
+			id++
+		}
+	}
+	loadReplica(c2.Replicas()[1], id, 50, 0.150)
+	s2 := &SLOAware{}
+	if got := s2.Route(relaxedReq(3), c2.Replicas()); got == 1 {
+		t.Fatal("two-replica cluster consolidated onto an island")
+	}
+}
+
+func TestNewRouterNames(t *testing.T) {
+	for _, name := range RouterNames() {
+		r, err := NewRouter(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("router %q reports name %q", name, r.Name())
+		}
+	}
+	if _, err := NewRouter("random"); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adaserve/internal/cluster"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/sched"
+	"adaserve/internal/workload"
+)
+
+// BuildCluster assembles an n-replica cluster of the given system kind
+// behind the named router policy. Each replica gets its own engine, KV
+// cache and pool, with per-replica engine randomness derived from the base
+// seed — so a replica's verification outcomes do not depend on which router
+// fronts the cluster.
+func BuildCluster(kind SystemKind, setup ModelSetup, n int, routerName string, opts BuildOptions) (*cluster.Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: cluster size %d <= 0", n)
+	}
+	router, err := cluster.NewRouter(routerName)
+	if err != nil {
+		return nil, err
+	}
+	systems := make([]sched.System, n)
+	for i := range systems {
+		o := opts
+		o.Seed = mathutil.Hash2(opts.Seed, 0xc1a0+uint64(i))
+		sys, err := Build(kind, setup, o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replica %d: %w", i, err)
+		}
+		systems[i] = sys
+	}
+	return cluster.New(systems, router)
+}
+
+// ClusterPoint is one (replica count, router) cell of the replica-scaling
+// experiment.
+type ClusterPoint struct {
+	Replicas int
+	Router   string
+	Sum      *metrics.ClusterSummary
+}
+
+// ClusterReplicaCounts are the cluster sizes the scaling experiment sweeps.
+func ClusterReplicaCounts() []int { return []int{1, 2, 3, 4, 8} }
+
+// ClusterPerReplicaRPS returns the fixed per-replica offered load of the
+// scaling experiment: the midpoint of the setup's Figure 8 RPS sweep, a
+// contended-but-serviceable operating point where routing quality shows.
+func ClusterPerReplicaRPS(setup ModelSetup) float64 {
+	sweep := RPSSweepsForSetup(setup)
+	return sweep[len(sweep)/2]
+}
+
+// ClusterScaling runs the replica-scaling experiment: AdaServe clusters of
+// 1, 2, 3, 4 and 8 replicas under each router policy at fixed per-replica
+// load (the trace rate scales with the replica count, so every
+// configuration sees the same offered load per replica). All
+// configurations of one replica count replay the identical trace;
+// single-replica rows are a sanity anchor where every router must agree,
+// and two-replica clusters are where routing matters least (the SLO-aware
+// island needs n >= 3, so at n = 2 it degrades to per-class balancing,
+// statistically equivalent to round-robin on homogeneous replicas).
+func ClusterScaling(setup ModelSetup, opts RunOptions) ([]ClusterPoint, error) {
+	opts.fill()
+	perReplica := ClusterPerReplicaRPS(setup)
+	var pts []ClusterPoint
+	for _, n := range ClusterReplicaCounts() {
+		reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, perReplica*float64(n), opts.Duration, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, routerName := range cluster.RouterNames() {
+			cl, err := BuildCluster(SysAdaServe, setup, n, routerName, BuildOptions{Seed: opts.Seed})
+			if err != nil {
+				return nil, err
+			}
+			res, err := cl.Run(request.CloneAll(reqs), cluster.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("cluster n=%d router=%s: %w", n, routerName, err)
+			}
+			pts = append(pts, ClusterPoint{Replicas: n, Router: routerName, Sum: res.Summary})
+		}
+	}
+	return pts, nil
+}
+
+// RenderClusterScaling formats the replica-scaling experiment as aligned
+// tables: attainment, goodput and request imbalance, one row per replica
+// count and one column per router.
+func RenderClusterScaling(pts []ClusterPoint) string {
+	routers := make([]string, 0)
+	seenR := map[string]bool{}
+	counts := make([]int, 0)
+	seenN := map[int]bool{}
+	for _, p := range pts {
+		if !seenR[p.Router] {
+			seenR[p.Router] = true
+			routers = append(routers, p.Router)
+		}
+		if !seenN[p.Replicas] {
+			seenN[p.Replicas] = true
+			counts = append(counts, p.Replicas)
+		}
+	}
+	sort.Ints(counts)
+	cell := func(n int, router string, f func(*metrics.ClusterSummary) float64) string {
+		for _, p := range pts {
+			if p.Replicas == n && p.Router == router {
+				return fmt.Sprintf("%.2f", f(p.Sum))
+			}
+		}
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range []struct {
+		name string
+		f    func(*metrics.ClusterSummary) float64
+	}{
+		{"attainment %", func(s *metrics.ClusterSummary) float64 { return 100 * s.Attainment() }},
+		{"goodput tok/s", func(s *metrics.ClusterSummary) float64 { return s.Goodput() }},
+		{"request imbalance (max/mean)", (*metrics.ClusterSummary).RequestImbalance},
+	} {
+		fmt.Fprintf(&b, "%-10s", "replicas")
+		for _, r := range routers {
+			fmt.Fprintf(&b, "%16s", r)
+		}
+		fmt.Fprintf(&b, "   [%s]\n", m.name)
+		for _, n := range counts {
+			fmt.Fprintf(&b, "%-10d", n)
+			for _, r := range routers {
+				fmt.Fprintf(&b, "%16s", cell(n, r, m.f))
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}

@@ -196,11 +196,7 @@ func TestFigure8SingleCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp := make([]*request.Request, len(reqs))
-	for i, r := range reqs {
-		cp[i] = request.New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
-	}
-	res, err := sim.Run(sys, cp, sim.Options{})
+	res, err := sim.Run(sys, request.CloneAll(reqs), sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

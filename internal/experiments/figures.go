@@ -50,12 +50,7 @@ func runOne(kind SystemKind, setup ModelSetup, reqs []*request.Request, seed uin
 		return nil, err
 	}
 	// Each system gets private request copies: runs must not share state.
-	cp := make([]*request.Request, len(reqs))
-	for i, r := range reqs {
-		c := request.New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
-		cp[i] = c
-	}
-	res, err := sim.Run(sys, cp, sim.Options{})
+	res, err := sim.Run(sys, request.CloneAll(reqs), sim.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"adaserve/internal/mathutil"
+)
+
+// Add accumulates another breakdown into b (used when merging per-replica
+// accounting into a cluster total).
+func (b *Breakdown) Add(o Breakdown) {
+	b.Scheduling += o.Scheduling
+	b.Speculation += o.Speculation
+	b.Verification += o.Verification
+	b.Prefill += o.Prefill
+}
+
+// ClusterSummary aggregates a multi-replica run: the cluster-wide summary
+// over every request of the trace plus one summary per replica over the
+// requests routed to it.
+type ClusterSummary struct {
+	// Aggregate summarizes all requests with the summed breakdown; its
+	// Attainment and Goodput are the cluster-level SLO attainment and
+	// goodput the replica-scaling experiments report.
+	Aggregate *Summary
+	// Replicas holds one summary per replica, in replica-ID order.
+	Replicas []*Summary
+}
+
+// Attainment returns the cluster-wide SLO attainment fraction.
+func (c *ClusterSummary) Attainment() float64 { return c.Aggregate.Attainment() }
+
+// Goodput returns the cluster-wide goodput in tokens/second.
+func (c *ClusterSummary) Goodput() float64 { return c.Aggregate.Goodput }
+
+// RequestImbalance returns max/mean requests routed per replica: 1 is a
+// perfectly balanced cluster, N means one replica received every request.
+func (c *ClusterSummary) RequestImbalance() float64 {
+	if len(c.Replicas) == 0 {
+		return 0
+	}
+	max, total := 0, 0
+	for _, r := range c.Replicas {
+		total += r.Requests
+		if r.Requests > max {
+			max = r.Requests
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(c.Replicas))
+	return float64(max) / mean
+}
+
+// String renders the aggregate summary followed by one line per replica.
+// Replicas that received no traffic render as idle rather than as 0%
+// attainment (an empty denominator is not a violation).
+func (c *ClusterSummary) String() string {
+	var b strings.Builder
+	b.WriteString(c.Aggregate.String())
+	for _, r := range c.Replicas {
+		if r.Requests == 0 {
+			fmt.Fprintf(&b, "\n  %-14s idle (no requests routed)", r.System)
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %-14s %4d reqs, attain %.1f%%, goodput %.1f tok/s, mean TPOT %.1f ms",
+			r.System, r.Requests, 100*r.Attainment(), r.Goodput, 1e3*mathutil.Mean(r.TPOTs))
+	}
+	return b.String()
+}

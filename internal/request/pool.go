@@ -17,6 +17,26 @@ type Pool struct {
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
 
+// OrderForReplay validates a trace and returns a sorted copy in the
+// deterministic replay order shared by every driver: FIFO by (arrival
+// time, ID). Both internal/sim and internal/cluster replay traces in this
+// order, so single-replica results stay comparable to one-replica clusters.
+func OrderForReplay(reqs []*Request) ([]*Request, error) {
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	ordered := append([]*Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].ArrivalTime != ordered[j].ArrivalTime {
+			return ordered[i].ArrivalTime < ordered[j].ArrivalTime
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	return ordered, nil
+}
+
 // Enqueue adds a newly arrived request to the waiting queue.
 func (p *Pool) Enqueue(r *Request) {
 	if r.Phase != Queued && r.Phase != Preempted {

@@ -137,6 +137,23 @@ func New(id int, cat Category, slo float64, arrival float64, promptLen, maxNew i
 	return r
 }
 
+// Clone returns a fresh Queued copy of the request's immutable trace fields
+// (identity, SLO, arrival, lengths, seed) with lifecycle state reset, so the
+// same trace can be replayed through multiple configurations without
+// sharing mutable state.
+func (r *Request) Clone() *Request {
+	return New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
+}
+
+// CloneAll clones a whole trace (see Clone).
+func CloneAll(reqs []*Request) []*Request {
+	cp := make([]*Request, len(reqs))
+	for i, r := range reqs {
+		cp[i] = r.Clone()
+	}
+	return cp
+}
+
 // Validate checks construction invariants.
 func (r *Request) Validate() error {
 	if r.TPOTSLO <= 0 {

@@ -10,7 +10,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
@@ -44,18 +43,10 @@ func Run(sys sched.System, reqs []*request.Request, opts Options) (*Result, erro
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = 50_000_000
 	}
-	for _, r := range reqs {
-		if err := r.Validate(); err != nil {
-			return nil, err
-		}
+	ordered, err := request.OrderForReplay(reqs)
+	if err != nil {
+		return nil, err
 	}
-	ordered := append([]*request.Request(nil), reqs...)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		if ordered[i].ArrivalTime != ordered[j].ArrivalTime {
-			return ordered[i].ArrivalTime < ordered[j].ArrivalTime
-		}
-		return ordered[i].ID < ordered[j].ID
-	})
 
 	pool := sys.Pool()
 	res := &Result{}

@@ -100,8 +100,25 @@ func TestRunRespectsMaxSimTime(t *testing.T) {
 	sys := testSystem(t, 100000)
 	reqs := mkReqs(5, 1000.0) // arrivals span 5000s
 	_, err := Run(sys, reqs, Options{MaxSimTime: 10})
-	if err == nil {
-		t.Fatal("max sim time not enforced")
+	if err == nil || !strings.Contains(err.Error(), "max simulated time") {
+		t.Fatalf("want max-sim-time error, got %v", err)
+	}
+}
+
+func TestRunRespectsMaxIterations(t *testing.T) {
+	sys := testSystem(t, 100000)
+	reqs := mkReqs(5, 0.05)
+	_, err := Run(sys, reqs, Options{MaxIterations: 2})
+	if err == nil || !strings.Contains(err.Error(), "max iterations") {
+		t.Fatalf("want max-iterations error, got %v", err)
+	}
+}
+
+func TestRunDefaultBoundsPermitNormalRuns(t *testing.T) {
+	// Zero-valued Options mean the generous defaults, not zero budgets.
+	sys := testSystem(t, 100000)
+	if _, err := Run(sys, mkReqs(3, 0.05), Options{}); err != nil {
+		t.Fatalf("default bounds aborted a normal run: %v", err)
 	}
 }
 

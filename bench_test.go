@@ -11,6 +11,7 @@ package adaserve_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"adaserve/internal/core"
@@ -228,28 +229,33 @@ func benchModels(b *testing.B) (*lm.SyntheticLM, *lm.DraftLM) {
 // BenchmarkLMDist measures one synthetic next-token distribution lookup.
 func BenchmarkLMDist(b *testing.B) {
 	target, _ := benchModels(b)
-	ctx := lm.Context{ReqSeed: 7, Hist: []lm.Token{1, 2, 3, 4}}
+	ctx := lm.NewContext(7, []lm.Token{1, 2, 3, 4})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = target.Dist(ctx)
 	}
 }
 
-// BenchmarkBeamSearch measures candidate-tree construction (d=6, w=4).
+// BenchmarkBeamSearch measures candidate-tree construction (d=6, w=4) on
+// the pooled path the engine uses: a reused tree and beam builder.
 func BenchmarkBeamSearch(b *testing.B) {
 	_, draft := benchModels(b)
 	ctx := lm.Context{ReqSeed: 9}
+	var pool toktree.TreePool
+	var bb toktree.BeamBuilder
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := toktree.BeamSearch(draft, ctx, 5, 6, 4); err != nil {
+		t := pool.Get(ctx, 5)
+		if _, _, err := bb.Search(t, draft, 6, 4); err != nil {
 			b.Fatal(err)
 		}
+		pool.Put(t)
 	}
 }
 
 // BenchmarkSelect measures Algorithm 2's selection phases over 16 candidate
 // trees with a 128-token budget — the per-iteration CPU cost Figure 15
-// bounds.
+// bounds — on the pooled Selector path schedulers use.
 func BenchmarkSelect(b *testing.B) {
 	_, draft := benchModels(b)
 	var reqs []core.SelectRequest
@@ -260,9 +266,10 @@ func BenchmarkSelect(b *testing.B) {
 		}
 		reqs = append(reqs, core.SelectRequest{Cand: br.Tree, MinAccept: 1.5})
 	}
+	var sel core.Selector
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Select(reqs, core.SelectConfig{Budget: 128, Depth: 6, PerRequestMax: 12}); err != nil {
+		if _, err := sel.Select(reqs, core.SelectConfig{Budget: 128, Depth: 6, PerRequestMax: 12}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -316,21 +323,23 @@ func BenchmarkEngineIteration(b *testing.B) {
 		r.PrefillDone = 64
 		reqs[i] = r
 	}
+	// Per-iteration scratch reused the way schedulers reuse it.
+	var sel core.Selector
+	selReqs := make([]core.SelectRequest, len(reqs))
+	items := make([]engine.VerifyItem, len(reqs))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spec, err := eng.SpeculateBeams(reqs, 4, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
-		selReqs := make([]core.SelectRequest, len(reqs))
 		for j := range reqs {
 			selReqs[j] = core.SelectRequest{Cand: spec.Trees[j], MinAccept: 1.5}
 		}
-		selRes, err := core.Select(selReqs, core.SelectConfig{Budget: 96, Depth: 4, PerRequestMax: 10})
+		selRes, err := sel.Select(selReqs, core.SelectConfig{Budget: 96, Depth: 4, PerRequestMax: 10})
 		if err != nil {
 			b.Fatal(err)
 		}
-		items := make([]engine.VerifyItem, len(reqs))
 		for j, r := range reqs {
 			items[j] = engine.VerifyItem{Req: r, Sel: selRes.Selections[j]}
 		}
@@ -338,5 +347,29 @@ func BenchmarkEngineIteration(b *testing.B) {
 		for j, r := range reqs {
 			engine.CommitVerify(r, ver.Results[j], 0)
 		}
+	}
+}
+
+// BenchmarkFigureGrid runs a shortened Figure 8/9 grid end to end through
+// the experiment runner at different worker counts: the macro benchmark for
+// both the token hot path (sub-benchmark parallel=1) and the parallel
+// runner's scaling (compare parallel=N against it; on multi-core hosts the
+// grid speeds up near-linearly for N ≤ cores).
+func BenchmarkFigureGrid(b *testing.B) {
+	setup := experiments.Llama70B()
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := experiments.RunOptions{
+					Seed: 1, Duration: 10, Parallel: par,
+					Systems: []experiments.SystemKind{
+						experiments.SysAdaServe, experiments.SysVLLMSpec6, experiments.SysVLLM,
+					},
+				}
+				if _, err := experiments.Figure8and9(setup, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

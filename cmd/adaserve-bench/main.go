@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"adaserve/internal/experiments"
@@ -30,6 +31,8 @@ func main() {
 	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent grid points (results are identical at any value)")
 	flag.Parse()
 
 	var setups []experiments.ModelSetup
@@ -49,7 +52,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	opts := experiments.RunOptions{Seed: *seed, Duration: *duration}
+	opts := experiments.RunOptions{Seed: *seed, Duration: *duration, Parallel: *parallel}
 
 	if all || want["fig7"] {
 		runFig7(*seed)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -87,7 +86,7 @@ func OptimalTrees(trees []ProbTree, minAccept []float64, budget int) ([][]int, e
 	for i := range perReq {
 		global = append(global, perReq[i]...)
 	}
-	heap.Init(&global)
+	initHeap(global)
 	for b > 0 && global.Len() > 0 {
 		it := popItem(&global)
 		selected[it.req] = append(selected[it.req], it.node)

@@ -13,8 +13,6 @@
 // broken by (request index, node ID).
 package core
 
-import "container/heap"
-
 // frontierItem is a candidate node eligible for selection: its parent is
 // already selected, it is not.
 type frontierItem struct {
@@ -24,6 +22,11 @@ type frontierItem struct {
 }
 
 // frontierHeap is a max-heap on pathProb with deterministic tie-breaking.
+// The sift operations are hand-rolled (not container/heap) so pushing and
+// popping never box items through interfaces — the selection phases run
+// allocation-free once the backing arrays are warm. The (req, node) pair is
+// unique per item, so the comparator is a total order and the pop sequence
+// does not depend on sift internals.
 type frontierHeap []frontierItem
 
 func (h frontierHeap) Len() int { return len(h) }
@@ -40,16 +43,55 @@ func (h frontierHeap) Less(i, j int) bool {
 
 func (h frontierHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *frontierHeap) Push(x any) { *h = append(*h, x.(frontierItem)) }
+// pushItem appends it and restores the heap property.
+func pushItem(h *frontierHeap, it frontierItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.Less(i, p) {
+			break
+		}
+		s.Swap(i, p)
+		i = p
+	}
+}
 
-func (h *frontierHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+// popItem removes and returns the top item.
+func popItem(h *frontierHeap) frontierItem {
+	s := *h
+	n := len(s) - 1
+	s.Swap(0, n)
+	it := s[n]
+	*h = s[:n]
+	siftDown(*h, 0)
 	return it
 }
 
-func pushItem(h *frontierHeap, it frontierItem) { heap.Push(h, it) }
+// initHeap establishes the heap property over arbitrary contents.
+func initHeap(h frontierHeap) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
 
-func popItem(h *frontierHeap) frontierItem { return heap.Pop(h).(frontierItem) }
+// siftDown restores the heap property below index i.
+func siftDown(s frontierHeap, i int) {
+	n := len(s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && s.Less(r, l) {
+			j = r
+		}
+		if !s.Less(j, i) {
+			return
+		}
+		s.Swap(i, j)
+		i = j
+	}
+}

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"adaserve/internal/toktree"
 )
@@ -46,6 +44,21 @@ type SelectResult struct {
 	BudgetUsed int
 }
 
+// Selector runs Algorithm 2's selection phases with pooled scratch: the
+// frontier heaps, ordering slices, selection masks, and the result storage
+// are all reused across calls, so a warm Selector allocates nothing. The
+// zero value is ready to use. The returned SelectResult (and the Selections
+// inside it) stays valid only until the next Select call on the same
+// Selector — the per-iteration lifetime schedulers already observe. Not
+// safe for concurrent use; schedulers own one each.
+type Selector struct {
+	frontiers []frontierHeap
+	order     []int
+	global    frontierHeap
+	sels      []*toktree.Selection
+	res       SelectResult
+}
+
 // Select runs Algorithm 2's SLO-customized selection followed by
 // throughput-optimized selection over the candidate trees.
 //
@@ -55,7 +68,16 @@ type SelectResult struct {
 // taken from the candidate tree in descending approximated-f(v) order, with
 // parents always preceding children (connectivity, Appendix B). The
 // remaining budget is then spent globally on the highest-f(v) candidates.
+//
+// This convenience form allocates fresh storage per call; schedulers reuse a
+// Selector. Both produce identical results.
 func Select(reqs []SelectRequest, cfg SelectConfig) (*SelectResult, error) {
+	var s Selector
+	return s.Select(reqs, cfg)
+}
+
+// Select implements the free function Select over the pooled storage.
+func (s *Selector) Select(reqs []SelectRequest, cfg SelectConfig) (*SelectResult, error) {
 	n := len(reqs)
 	if cfg.Budget < n {
 		return nil, fmt.Errorf("core: budget %d below one root per request (%d)", cfg.Budget, n)
@@ -63,34 +85,34 @@ func Select(reqs []SelectRequest, cfg SelectConfig) (*SelectResult, error) {
 	if cfg.Depth < 0 {
 		return nil, fmt.Errorf("core: negative depth %d", cfg.Depth)
 	}
-	res := &SelectResult{
-		Selections:     make([]*toktree.Selection, n),
-		ExpectedAccept: make([]float64, n),
-		SLOSatisfied:   make([]bool, n),
-	}
-	frontiers := make([]frontierHeap, n)
+	res := s.reset(n)
 	budget := cfg.Budget
 
 	// Initialization: every request's root is selected and costs budget.
 	for i, rq := range reqs {
-		res.Selections[i] = toktree.NewSelection(rq.Cand)
+		res.Selections[i].Reset(rq.Cand)
 		res.ExpectedAccept[i] = 1
 		budget--
 		for _, c := range rq.Cand.Nodes[0].Children {
-			pushItem(&frontiers[i], frontierItem{
+			pushItem(&s.frontiers[i], frontierItem{
 				req: i, node: c, pathProb: rq.Cand.Nodes[c].PathProb,
 			})
 		}
 	}
 
-	// SLO-customized selection, hardest requests first.
-	order := make([]int, n)
+	// SLO-customized selection, hardest requests first. The sort is a
+	// stable insertion sort: identical ordering to sort.SliceStable, no
+	// reflection closures on the per-iteration path (batches are small and
+	// nearly sorted in practice).
+	order := s.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return reqs[order[a]].MinAccept > reqs[order[b]].MinAccept
-	})
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && reqs[order[j]].MinAccept > reqs[order[j-1]].MinAccept; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 	maxPerReq := cfg.PerRequestMax
 	if maxPerReq <= 0 {
 		maxPerReq = math.MaxInt
@@ -99,28 +121,63 @@ func Select(reqs []SelectRequest, cfg SelectConfig) (*SelectResult, error) {
 		cap_ := capThreshold(reqs[i].MinAccept, cfg.Depth)
 		for res.ExpectedAccept[i] < cap_ &&
 			res.Selections[i].Size() < maxPerReq &&
-			budget > 0 && frontiers[i].Len() > 0 {
-			it := popItem(&frontiers[i])
-			addNode(res, &frontiers[i], reqs[i].Cand, i, it)
+			budget > 0 && s.frontiers[i].Len() > 0 {
+			it := popItem(&s.frontiers[i])
+			addNode(res, &s.frontiers[i], reqs[i].Cand, i, it)
 			budget--
 		}
 		res.SLOSatisfied[i] = res.ExpectedAccept[i] >= cap_
 	}
 
 	// Throughput-optimized selection: global greedy over all frontiers.
-	var global frontierHeap
-	for i := range frontiers {
-		global = append(global, frontiers[i]...)
+	s.global = s.global[:0]
+	for i := range s.frontiers {
+		s.global = append(s.global, s.frontiers[i]...)
 	}
-	heap.Init(&global)
-	for budget > 0 && global.Len() > 0 {
-		it := popItem(&global)
-		addNode(res, &global, reqs[it.req].Cand, it.req, it)
+	initHeap(s.global)
+	for budget > 0 && s.global.Len() > 0 {
+		it := popItem(&s.global)
+		addNode(res, &s.global, reqs[it.req].Cand, it.req, it)
 		budget--
 	}
 
 	res.BudgetUsed = cfg.Budget - budget
 	return res, nil
+}
+
+// reset sizes the pooled storage for n requests and clears it.
+func (s *Selector) reset(n int) *SelectResult {
+	if cap(s.frontiers) < n {
+		s.frontiers = append(s.frontiers[:cap(s.frontiers)], make([]frontierHeap, n-cap(s.frontiers))...)
+	}
+	s.frontiers = s.frontiers[:n]
+	for i := range s.frontiers {
+		s.frontiers[i] = s.frontiers[i][:0]
+	}
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+	s.order = s.order[:n]
+	for len(s.sels) < n {
+		s.sels = append(s.sels, &toktree.Selection{})
+	}
+
+	res := &s.res
+	if cap(res.Selections) < n {
+		res.Selections = make([]*toktree.Selection, n)
+		res.ExpectedAccept = make([]float64, n)
+		res.SLOSatisfied = make([]bool, n)
+	}
+	res.Selections = res.Selections[:n]
+	res.ExpectedAccept = res.ExpectedAccept[:n]
+	res.SLOSatisfied = res.SLOSatisfied[:n]
+	for i := 0; i < n; i++ {
+		res.Selections[i] = s.sels[i]
+		res.ExpectedAccept[i] = 0
+		res.SLOSatisfied[i] = false
+	}
+	res.BudgetUsed = 0
+	return res
 }
 
 // capThreshold is A_cap(r) = min(A(r), d+1): a depth-d candidate tree cannot

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"adaserve/internal/lm"
+	"adaserve/internal/mathutil"
+	"adaserve/internal/toktree"
+)
+
+// TestSelectorMatchesSelect drives one pooled Selector through many
+// iterations with varying batch sizes and checks every result against the
+// allocating free function — the pooling-determinism contract schedulers
+// rely on.
+func TestSelectorMatchesSelect(t *testing.T) {
+	target := lm.MustSyntheticLM("t", 1, 4096, 16, 3.2, 0.02)
+	draft := lm.MustDraftLM("d", target, 0.85, 2)
+	rng := mathutil.NewRNG(99)
+	var sel Selector
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(12)
+		reqs := make([]SelectRequest, n)
+		for i := range reqs {
+			br, err := toktree.BeamSearch(draft,
+				lm.Context{ReqSeed: uint64(iter*100 + i)}, 5, 1+rng.Intn(6), 1+rng.Intn(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs[i] = SelectRequest{Cand: br.Tree, MinAccept: float64(rng.Intn(8)) / 2}
+		}
+		cfg := SelectConfig{
+			Budget:        n + rng.Intn(64),
+			Depth:         6,
+			PerRequestMax: rng.Intn(12), // 0 = unlimited on some iterations
+		}
+		want, err := Select(reqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sel.Select(reqs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BudgetUsed != want.BudgetUsed {
+			t.Fatalf("iter %d: BudgetUsed %d, want %d", iter, got.BudgetUsed, want.BudgetUsed)
+		}
+		for i := range reqs {
+			if got.ExpectedAccept[i] != want.ExpectedAccept[i] ||
+				got.SLOSatisfied[i] != want.SLOSatisfied[i] ||
+				got.Selections[i].Size() != want.Selections[i].Size() {
+				t.Fatalf("iter %d req %d: pooled selector diverged", iter, i)
+			}
+			for id := 0; id < reqs[i].Cand.Size(); id++ {
+				if got.Selections[i].Has(id) != want.Selections[i].Has(id) {
+					t.Fatalf("iter %d req %d node %d: selection membership differs", iter, i, id)
+				}
+			}
+			if err := got.Selections[i].Validate(); err != nil {
+				t.Fatalf("iter %d req %d: %v", iter, i, err)
+			}
+		}
+	}
+}

@@ -11,7 +11,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"adaserve/internal/gpu"
 	"adaserve/internal/lm"
@@ -33,6 +32,13 @@ type Config struct {
 }
 
 // Engine executes forward passes for one serving instance.
+//
+// Per-iteration scratch (candidate trees, verification results, ordering
+// buffers) is pooled across iterations: the objects returned by
+// SpeculateBeams and VerifyTrees* stay valid until the NEXT call of the same
+// method, which matches how schedulers consume them (within one iteration).
+// Engines are not safe for concurrent use; the parallel experiment runner
+// gives every worker its own.
 type Engine struct {
 	target     lm.Model
 	draft      lm.Model
@@ -40,6 +46,19 @@ type Engine struct {
 	draftCost  *gpu.CostModel
 	verifier   *lm.Verifier
 	rng        *mathutil.RNG
+
+	// ord is the reusable index permutation that orders batched requests by
+	// ID for deterministic RNG consumption; ids is its parallel key buffer.
+	ord []int
+	ids []int
+	// treePool recycles candidate trees; liveTrees are the ones handed out
+	// by the last SpeculateBeams, reclaimed at the next call.
+	treePool  toktree.TreePool
+	liveTrees []*toktree.Tree
+	beam      toktree.BeamBuilder
+	// vres holds pooled verification results; vscratch the walk buffers.
+	vres     []toktree.VerifyResult
+	vscratch toktree.VerifyScratch
 
 	// Stats accumulate across the run.
 	Stats Stats
@@ -157,6 +176,37 @@ type DecodeResult struct {
 	GPUTime float64
 }
 
+// orderByKeys fills e.ord with a permutation of [0, len(e.ids)) sorted by
+// the request IDs the caller staged in e.ids: the deterministic
+// RNG-consumption order for batched passes, independent of the caller's
+// batch order. This is the single source of truth for that ordering —
+// DecodeBatch, Mixed and VerifyTreesWithPrefill all route through it.
+// Insertion sort: IDs are unique and batches arrive nearly sorted (pool
+// order), so this is linear in practice and free of sort.Slice's
+// reflection allocations.
+func (e *Engine) orderByKeys() []int {
+	e.ord = e.ord[:0]
+	for i := range e.ids {
+		e.ord = append(e.ord, i)
+	}
+	ord, ids := e.ord, e.ids
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && ids[ord[j]] < ids[ord[j-1]]; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	return ord
+}
+
+// orderByID is orderByKeys keyed on a request batch.
+func (e *Engine) orderByID(reqs []*request.Request) []int {
+	e.ids = e.ids[:0]
+	for _, r := range reqs {
+		e.ids = append(e.ids, r.ID)
+	}
+	return e.orderByKeys()
+}
+
 // DecodeBatch performs one continuous-batching decode iteration: every
 // request generates exactly one token (sampled from the target, matching
 // the stochastic verification rule's marginal distribution). Tokens are
@@ -165,18 +215,12 @@ func (e *Engine) DecodeBatch(reqs []*request.Request) *DecodeResult {
 	if len(reqs) == 0 {
 		return &DecodeResult{}
 	}
-	ordered := append([]*request.Request(nil), reqs...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
 	res := &DecodeResult{Tokens: make([]lm.Token, len(reqs))}
 	kv := 0
-	byID := make(map[int]lm.Token, len(reqs))
-	for _, r := range ordered {
-		dist := e.target.Dist(r.Ctx)
-		byID[r.ID] = dist.Sample(e.rng)
+	for _, i := range e.orderByID(reqs) {
+		r := reqs[i]
+		res.Tokens[i] = e.target.Dist(r.Ctx).Sample(e.rng)
 		kv += r.ContextLen() + 1
-	}
-	for i, r := range reqs {
-		res.Tokens[i] = byID[r.ID]
 	}
 	res.GPUTime = e.targetCost.ForwardLatency(gpu.BatchShape{
 		Tokens: len(reqs), Seqs: len(reqs), KVTokens: kv,
@@ -197,17 +241,11 @@ func (e *Engine) Mixed(decode []*request.Request, prefill []PrefillItem) (*Decod
 	totalTokens := 0
 	kv := 0
 	if len(decode) > 0 {
-		ordered := append([]*request.Request(nil), decode...)
-		sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
-		byID := make(map[int]lm.Token, len(decode))
-		for _, r := range ordered {
-			dist := e.target.Dist(r.Ctx)
-			byID[r.ID] = dist.Sample(e.rng)
-			kv += r.ContextLen() + 1
-		}
 		res.Tokens = make([]lm.Token, len(decode))
-		for i, r := range decode {
-			res.Tokens[i] = byID[r.ID]
+		for _, i := range e.orderByID(decode) {
+			r := decode[i]
+			res.Tokens[i] = e.target.Dist(r.Ctx).Sample(e.rng)
+			kv += r.ContextLen() + 1
 		}
 		totalTokens += len(decode)
 	}
@@ -250,28 +288,44 @@ type SpeculateResult struct {
 // per request, all requests batched per step (the draft processes n·w
 // tokens per step after the first, the shape regularity CUDA graphs
 // exploit).
+//
+// The returned trees are pooled: they stay valid until the next
+// SpeculateBeams call, when the engine reclaims them.
 func (e *Engine) SpeculateBeams(reqs []*request.Request, d, w int) (*SpeculateResult, error) {
 	if e.draft == nil || e.draftCost == nil {
 		return nil, fmt.Errorf("engine: speculation requires a draft model")
 	}
+	// Reclaim the previous iteration's trees; their consumers (selections,
+	// verification results) are done with them by contract.
+	for _, t := range e.liveTrees {
+		e.treePool.Put(t)
+	}
+	e.liveTrees = e.liveTrees[:0]
+	getTree := func(r *request.Request) *toktree.Tree {
+		t := e.treePool.Get(r.Ctx, r.LastToken())
+		e.liveTrees = append(e.liveTrees, t)
+		return t
+	}
+
 	res := &SpeculateResult{Trees: make([]*toktree.Tree, len(reqs))}
 	if len(reqs) == 0 || d == 0 {
 		for i, r := range reqs {
-			res.Trees[i] = toktree.NewTree(r.Ctx, r.LastToken())
+			res.Trees[i] = getTree(r)
 		}
 		return res, nil
 	}
 	maxSteps := 0
 	totalKV := 0
 	for i, r := range reqs {
-		br, err := toktree.BeamSearch(e.draft, r.Ctx, r.LastToken(), d, w)
+		t := getTree(r)
+		steps, draftTokens, err := e.beam.Search(t, e.draft, d, w)
 		if err != nil {
 			return nil, fmt.Errorf("engine: beam search for request %d: %w", r.ID, err)
 		}
-		res.Trees[i] = br.Tree
-		res.DraftTokens += br.DraftTokensProcessed
-		if br.Steps > maxSteps {
-			maxSteps = br.Steps
+		res.Trees[i] = t
+		res.DraftTokens += draftTokens
+		if steps > maxSteps {
+			maxSteps = steps
 		}
 		totalKV += r.ContextLen()
 	}
@@ -327,15 +381,23 @@ func (e *Engine) VerifyTreesWithPrefill(items []VerifyItem, prefill []PrefillIte
 	if len(items) == 0 && len(prefill) == 0 {
 		return res
 	}
-	ordered := make([]int, len(items))
-	for i := range ordered {
-		ordered[i] = i
+	// Pooled results: valid until the next VerifyTrees* call. Growth must
+	// not move already-assigned entries, so the backing array is replaced
+	// wholesale only when too small (stale pointers are dead by contract).
+	if cap(e.vres) < len(items) {
+		e.vres = make([]toktree.VerifyResult, len(items))
 	}
-	sort.Slice(ordered, func(a, b int) bool { return items[ordered[a]].Req.ID < items[ordered[b]].Req.ID })
+	e.vres = e.vres[:len(items)]
+
+	e.ids = e.ids[:0]
+	for i := range items {
+		e.ids = append(e.ids, items[i].Req.ID)
+	}
 	kv := 0
-	for _, idx := range ordered {
+	for _, idx := range e.orderByKeys() {
 		it := items[idx]
-		vr := toktree.Verify(it.Sel, e.verifier)
+		vr := &e.vres[idx]
+		toktree.VerifyInto(vr, it.Sel, e.verifier, &e.vscratch)
 		res.Results[idx] = vr
 		res.TokensVerified += vr.TokensVerified
 		// Every tree token attends over the request context plus its depth.
@@ -366,8 +428,8 @@ func (e *Engine) VerifyTreesWithPrefill(items []VerifyItem, prefill []PrefillIte
 // CommitVerify applies a verification result to a request at time now:
 // the accepted prefix plus the correction/bonus token.
 func CommitVerify(r *request.Request, vr *toktree.VerifyResult, now float64) int {
-	tokens := append(append([]lm.Token(nil), vr.Accepted...), vr.Correction)
-	kept := r.Commit(tokens, now)
+	kept := r.Commit(vr.Accepted, now)
+	kept += r.Commit1(vr.Correction, now)
 	r.VerifySteps++
 	return kept
 }

@@ -42,13 +42,20 @@ func Ablations(setup ModelSetup, opts RunOptions) ([]AblationRow, error) {
 		{"no CUDA graphs", SysAdaServe, BuildOptions{DisableCUDAGraphs: true}},
 		{"greedy verification", SysAdaServe, BuildOptions{Rule: lm.RuleGreedy}},
 	}
-	var rows []AblationRow
-	for _, c := range configs {
+	sums, err := runJobs(opts.Parallel, len(configs), func(i int) (*metrics.Summary, error) {
+		c := configs[i]
 		sum, err := runOne(c.kind, setup, reqs, opts.Seed, c.build)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %q: %w", c.name, err)
 		}
-		rows = append(rows, AblationRow{Name: c.name, Sum: sum})
+		return sum, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(configs))
+	for i, c := range configs {
+		rows[i] = AblationRow{Name: c.name, Sum: sums[i]}
 	}
 	return rows, nil
 }

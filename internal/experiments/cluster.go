@@ -70,23 +70,39 @@ func ClusterPerReplicaRPS(setup ModelSetup) float64 {
 func ClusterScaling(setup ModelSetup, opts RunOptions) ([]ClusterPoint, error) {
 	opts.fill()
 	perReplica := ClusterPerReplicaRPS(setup)
-	var pts []ClusterPoint
+	type clusterCell struct {
+		n      int
+		router string
+		reqs   []*request.Request
+	}
+	var cells []clusterCell
 	for _, n := range ClusterReplicaCounts() {
 		reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, perReplica*float64(n), opts.Duration, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
 		for _, routerName := range cluster.RouterNames() {
-			cl, err := BuildCluster(SysAdaServe, setup, n, routerName, BuildOptions{Seed: opts.Seed})
-			if err != nil {
-				return nil, err
-			}
-			res, err := cl.Run(request.CloneAll(reqs), cluster.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("cluster n=%d router=%s: %w", n, routerName, err)
-			}
-			pts = append(pts, ClusterPoint{Replicas: n, Router: routerName, Sum: res.Summary})
+			cells = append(cells, clusterCell{n: n, router: routerName, reqs: reqs})
 		}
+	}
+	sums, err := runJobs(opts.Parallel, len(cells), func(i int) (*metrics.ClusterSummary, error) {
+		c := cells[i]
+		cl, err := BuildCluster(SysAdaServe, setup, c.n, c.router, BuildOptions{Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res, err := cl.Run(request.CloneAll(c.reqs), cluster.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("cluster n=%d router=%s: %w", c.n, c.router, err)
+		}
+		return res.Summary, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]ClusterPoint, len(cells))
+	for i, c := range cells {
+		pts[i] = ClusterPoint{Replicas: c.n, Router: c.router, Sum: sums[i]}
 	}
 	return pts, nil
 }

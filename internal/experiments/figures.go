@@ -22,6 +22,11 @@ type RunOptions struct {
 	Duration float64
 	// Systems defaults to EndToEndSystems.
 	Systems []SystemKind
+	// Parallel is the number of worker goroutines grid points fan out
+	// across (each grid point is an independent deterministic simulation
+	// with its own engines and RNGs). <= 1 runs sequentially; results are
+	// identical and identically ordered either way.
+	Parallel int
 }
 
 func (o *RunOptions) fill() {
@@ -30,6 +35,9 @@ func (o *RunOptions) fill() {
 	}
 	if o.Systems == nil {
 		o.Systems = EndToEndSystems()
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
 	}
 }
 
@@ -82,19 +90,19 @@ func RPSSweepsForSetup(setup ModelSetup) []float64 {
 // comes from the same runs.
 func Figure8and9(setup ModelSetup, opts RunOptions) ([]Point, error) {
 	opts.fill()
-	var pts []Point
+	var cells []cell
 	for _, rps := range RPSSweepsForSetup(setup) {
 		reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, rps, opts.Duration, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
 		for _, kind := range opts.Systems {
-			sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("fig8/9 %s rps=%.1f: %w", kind, rps, err)
-			}
-			pts = append(pts, Point{System: kind, X: rps, Label: "rps", Sum: sum})
+			cells = append(cells, cell{kind: kind, reqs: reqs, x: rps, label: "rps"})
 		}
+	}
+	pts, err := runCells(setup, opts, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig8/9: %w", err)
 	}
 	return pts, nil
 }
@@ -103,19 +111,19 @@ func Figure8and9(setup ModelSetup, opts RunOptions) ([]Point, error) {
 // (30–90%), reporting attainment and goodput.
 func Figure10(setup ModelSetup, opts RunOptions) ([]Point, error) {
 	opts.fill()
-	var pts []Point
+	var cells []cell
 	for _, urgent := range []float64{0.3, 0.5, 0.7, 0.9} {
 		reqs, err := mixedTrace(setup, workload.UrgentMix(urgent), 1.0, 4.0, opts.Duration, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
 		for _, kind := range opts.Systems {
-			sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s urgent=%.0f%%: %w", kind, 100*urgent, err)
-			}
-			pts = append(pts, Point{System: kind, X: urgent, Label: "urgent", Sum: sum})
+			cells = append(cells, cell{kind: kind, reqs: reqs, x: urgent, label: "urgent"})
 		}
+	}
+	pts, err := runCells(setup, opts, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
 	}
 	return pts, nil
 }
@@ -124,19 +132,19 @@ func Figure10(setup ModelSetup, opts RunOptions) ([]Point, error) {
 // scale of the most urgent category from 1.6 down to 0.6.
 func Figure11(setup ModelSetup, opts RunOptions) ([]Point, error) {
 	opts.fill()
-	var pts []Point
+	var cells []cell
 	for _, scale := range []float64{1.6, 1.4, 1.2, 1.0, 0.8, 0.6} {
 		reqs, err := mixedTrace(setup, workload.UrgentMix(0.6), scale, 4.0, opts.Duration, opts.Seed)
 		if err != nil {
 			return nil, err
 		}
 		for _, kind := range opts.Systems {
-			sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s scale=%.1f: %w", kind, scale, err)
-			}
-			pts = append(pts, Point{System: kind, X: scale, Label: "slo-scale", Sum: sum})
+			cells = append(cells, cell{kind: kind, reqs: reqs, x: scale, label: "slo-scale"})
 		}
+	}
+	pts, err := runCells(setup, opts, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
 	}
 	return pts, nil
 }
@@ -161,21 +169,18 @@ func Figure12(setup ModelSetup, opts RunOptions) ([]Point, error) {
 // SLO-violation percentage annotated per system and category.
 func Figure1(setup ModelSetup, opts RunOptions) ([]Point, error) {
 	opts.fill()
-	if opts.Systems == nil {
-		opts.Systems = Figure1Systems()
-	}
 	mix := workload.Mix{0.5, 0.5, 0}
 	reqs, err := mixedTrace(setup, mix, 1.0, 3.0, opts.Duration, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var pts []Point
+	var cells []cell
 	for _, kind := range Figure1Systems() {
-		sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", kind, err)
-		}
-		pts = append(pts, Point{System: kind, X: 0, Label: "fig1", Sum: sum})
+		cells = append(cells, cell{kind: kind, reqs: reqs, x: 0, label: "fig1"})
+	}
+	pts, err := runCells(setup, opts, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
 	}
 	return pts, nil
 }
@@ -192,13 +197,13 @@ func Figure13and14(setup ModelSetup, opts RunOptions) ([]Point, error) {
 	perCat := workload.SyntheticCategoryTrace(
 		mathutil.NewRNG(mathutil.Hash2(opts.Seed, 0x13)), 4.0, opts.Duration)
 	reqs := gen.FromCategoryTimestamps(perCat)
-	var pts []Point
+	var cells []cell
 	for _, kind := range opts.Systems {
-		sum, err := runOne(kind, setup, reqs, opts.Seed, BuildOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("fig14 %s: %w", kind, err)
-		}
-		pts = append(pts, Point{System: kind, X: 0, Label: "synthetic", Sum: sum})
+		cells = append(cells, cell{kind: kind, reqs: reqs, x: 0, label: "synthetic"})
+	}
+	pts, err := runCells(setup, opts, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig14: %w", err)
 	}
 	return pts, nil
 }

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+)
+
+// runJobs executes n independent jobs on a pool of `parallel` worker
+// goroutines and returns their results in job order — the caller observes
+// exactly the sequence a sequential loop would produce, regardless of
+// completion order or worker count.
+//
+// Determinism contract: every job must be self-contained (build its own
+// engines, RNGs and request copies — share-nothing, as runOne does), so the
+// only cross-job data are read-only inputs. Workers pull job indices from a
+// channel; results land in a slice indexed by job, and the first error (by
+// job index, not completion time) is returned.
+func runJobs[R any](parallel, n int, run func(int) (R, error)) ([]R, error) {
+	results := make([]R, n)
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := run(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	jobs := make(chan int)
+	// failed short-circuits the grid once any job errors: in-flight jobs
+	// finish, queued ones are skipped — matching the sequential path's
+	// stop-at-first-error behavior instead of burning the whole grid.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				results[i], errs[i] = run(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// cell is one grid point of a figure sweep: a system on a workload trace,
+// tagged with its sweep coordinate. Cells are enumerated up front (trace
+// synthesis is cheap and sequential); the simulations — the expensive part
+// — fan out across workers. The trace is a shared read-only template; each
+// run clones it (runOne).
+type cell struct {
+	kind  SystemKind
+	reqs  []*request.Request
+	x     float64
+	label string
+}
+
+// runCells fans the cells out across opts.Parallel workers and reassembles
+// the Points in cell order. Errors carry the failing cell's coordinates.
+// Sweeps needing per-cell BuildOptions (the ablation grid) use runJobs
+// directly.
+func runCells(setup ModelSetup, opts RunOptions, cells []cell) ([]Point, error) {
+	sums, err := runJobs(opts.Parallel, len(cells), func(i int) (*metrics.Summary, error) {
+		c := cells[i]
+		sum, err := runOne(c.kind, setup, c.reqs, opts.Seed, BuildOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s %s=%g: %w", c.kind, c.label, c.x, err)
+		}
+		return sum, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]Point, len(cells))
+	for i, c := range cells {
+		pts[i] = Point{System: c.kind, X: c.x, Label: c.label, Sum: sums[i]}
+	}
+	return pts, nil
+}

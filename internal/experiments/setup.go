@@ -117,6 +117,10 @@ type BuildOptions struct {
 	DisableNMax bool
 	// DisableCUDAGraphs turns off graph-replay amortization (ablation).
 	DisableCUDAGraphs bool
+	// DisableDistCache turns off the synthetic models' distribution caches:
+	// the reference path the byte-identical determinism tests compare
+	// cached runs against.
+	DisableDistCache bool
 }
 
 // Build assembles a ready-to-run serving system of the given kind on the
@@ -124,6 +128,10 @@ type BuildOptions struct {
 func Build(kind SystemKind, setup ModelSetup, opts BuildOptions) (sched.System, error) {
 	target := lm.MustSyntheticLM(setup.Target.Name, mathutil.Hash2(opts.Seed, 0x7a26e7), setup.Vocab, setup.Branch, setup.Sharpness, setup.Tail)
 	draft := lm.MustDraftLM(setup.Draft.Name, target, setup.Alpha, mathutil.Hash2(opts.Seed, 0xd12af7))
+	if opts.DisableDistCache {
+		target.SetDistCacheSize(0)
+		draft.SetDistCacheSize(0)
+	}
 
 	targetCost, err := gpu.NewCostModel(setup.HW, setup.Target, setup.TargetTP)
 	if err != nil {

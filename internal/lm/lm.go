@@ -17,6 +17,15 @@
 //
 // Everything is deterministic given (model seed, request seed, context), so
 // experiments replay exactly.
+//
+// Hot-path design: the next-token distribution is a pure function of the
+// 64-bit context hash, so both models memoize distributions behind a
+// fixed-size direct-mapped cache keyed on that hash (exact — entries are
+// validated by full key comparison, never by slot alone). Context itself is
+// a small value type carrying only the HistoryWindow-sized suffix that
+// conditions the distribution, so extending a context allocates nothing.
+// Models are NOT safe for concurrent use: give each goroutine its own
+// engine/models, as the parallel experiment runner does.
 package lm
 
 import (
@@ -38,12 +47,37 @@ type TokenProb struct {
 // Dist is a truncated next-token distribution: explicit probabilities for a
 // small candidate set plus Tail mass smeared uniformly over the rest of the
 // vocabulary. Entries are sorted by descending probability.
+//
+// Distributions returned by the models may be shared (cached); callers must
+// treat Entries as read-only.
 type Dist struct {
 	Entries []TokenProb
 	// Tail is the probability mass not covered by Entries.
 	Tail float64
 	// Vocab is the vocabulary size (for tail token sampling).
 	Vocab int
+
+	// byTok, when non-nil, holds Entries sorted by ascending token: the
+	// index that turns Prob into a binary search. Model-produced
+	// distributions always carry it; hand-built literals fall back to a
+	// linear scan.
+	byTok []TokenProb
+}
+
+// Indexed returns a copy of d carrying the sorted-by-token lookup index used
+// by Prob. Model-produced distributions are already indexed. The sort is an
+// insertion sort: candidate sets are small and this is the only allocation
+// site on a cache miss, so it must not drag reflection scaffolding along.
+func (d Dist) Indexed() Dist {
+	bt := make([]TokenProb, len(d.Entries))
+	copy(bt, d.Entries)
+	for i := 1; i < len(bt); i++ {
+		for j := i; j > 0 && bt[j].Token < bt[j-1].Token; j-- {
+			bt[j], bt[j-1] = bt[j-1], bt[j]
+		}
+	}
+	d.byTok = bt
+	return d
 }
 
 // Validate checks that the distribution is normalized and sorted.
@@ -67,11 +101,27 @@ func (d Dist) Validate() error {
 	return nil
 }
 
-// Prob returns the probability of tok under d.
+// Prob returns the probability of tok under d: a binary search over the
+// token-sorted index when present, else a linear scan of the candidate set.
 func (d Dist) Prob(tok Token) float64 {
-	for _, e := range d.Entries {
-		if e.Token == tok {
-			return e.Prob
+	if d.byTok != nil {
+		lo, hi := 0, len(d.byTok)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if d.byTok[mid].Token < tok {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(d.byTok) && d.byTok[lo].Token == tok {
+			return d.byTok[lo].Prob
+		}
+	} else {
+		for _, e := range d.Entries {
+			if e.Token == tok {
+				return e.Prob
+			}
 		}
 	}
 	if d.Vocab <= len(d.Entries) {
@@ -108,48 +158,105 @@ func (d Dist) Sample(rng *mathutil.RNG) Token {
 			return e.Token
 		}
 	}
-	// Tail: uniform over non-candidate tokens; approximate by hashing.
-	if d.Vocab > 0 {
-		return Token(rng.Intn(d.Vocab))
-	}
-	return d.Entries[len(d.Entries)-1].Token
+	return d.sampleTail(rng)
 }
 
-// Context identifies a decoding position: the request's own seed (so two
-// requests with identical recent tokens still have independent text) plus
-// the recent token history.
-type Context struct {
-	ReqSeed uint64
-	// Hist is the full generated history; only the last HistoryWindow tokens
-	// influence the distribution (an order-n Markov approximation).
-	Hist []Token
+// sampleTail draws uniformly over the NON-candidate tokens: the tail mass
+// belongs exclusively to tokens outside the candidate set, so a draw that
+// landed in the tail must never return a candidate (returning one would
+// double-count its mass on top of its explicit entry).
+func (d Dist) sampleTail(rng *mathutil.RNG) Token {
+	free := d.Vocab - len(d.Entries)
+	if free <= 0 {
+		// No non-candidate tokens exist (or the distribution is degenerate):
+		// fall back to the least likely candidate.
+		if len(d.Entries) > 0 {
+			return d.Entries[len(d.Entries)-1].Token
+		}
+		return 0
+	}
+	r := Token(rng.Intn(free))
+	// The result is the r-th smallest non-candidate v, the least fixpoint of
+	// v = r + #(candidates <= v); iterate from r (converges in at most
+	// len(Entries)+1 rounds, no sorted order needed).
+	v := r
+	for {
+		cnt := Token(0)
+		for _, e := range d.Entries {
+			if e.Token <= v {
+				cnt++
+			}
+		}
+		if r+cnt == v {
+			return v
+		}
+		v = r + cnt
+	}
 }
 
 // HistoryWindow is how many trailing tokens condition the next-token
 // distribution.
 const HistoryWindow = 4
 
-// hash folds the request seed and trailing window into one 64-bit value.
-func (c Context) hash(salt uint64) uint64 {
-	h := mathutil.Hash2(c.ReqSeed, salt)
-	start := len(c.Hist) - HistoryWindow
+// Context identifies a decoding position: the request's own seed (so two
+// requests with identical recent tokens still have independent text) plus
+// the trailing HistoryWindow tokens of the generated history (an order-n
+// Markov approximation — only the window conditions the distribution, so
+// only the window is stored). Context is a small value type: Extend never
+// allocates, and contexts compare with ==.
+type Context struct {
+	ReqSeed uint64
+	// win holds the most recent min(n, HistoryWindow) history tokens, oldest
+	// first.
+	win [HistoryWindow]Token
+	// n is the number of valid tokens in win.
+	n uint8
+}
+
+// NewContext builds a context from a request seed and a full (or partial)
+// generated history; only the trailing HistoryWindow tokens are retained.
+func NewContext(seed uint64, hist []Token) Context {
+	c := Context{ReqSeed: seed}
+	start := len(hist) - HistoryWindow
 	if start < 0 {
 		start = 0
 	}
-	for _, t := range c.Hist[start:] {
+	for _, t := range hist[start:] {
+		c.win[c.n] = t
+		c.n++
+	}
+	return c
+}
+
+// Extend returns a context with one more history token appended. Pure value
+// semantics: the receiver is unchanged and nothing is allocated.
+func (c Context) Extend(tok Token) Context {
+	if int(c.n) < HistoryWindow {
+		c.win[c.n] = tok
+		c.n++
+		return c
+	}
+	copy(c.win[:], c.win[1:])
+	c.win[HistoryWindow-1] = tok
+	return c
+}
+
+// Window returns a copy of the retained history window, oldest first.
+func (c Context) Window() []Token {
+	return append([]Token(nil), c.win[:c.n]...)
+}
+
+// WindowLen returns how many history tokens the context retains
+// (min(history length, HistoryWindow)).
+func (c Context) WindowLen() int { return int(c.n) }
+
+// hash folds the request seed and trailing window into one 64-bit value.
+func (c Context) hash(salt uint64) uint64 {
+	h := mathutil.Hash2(c.ReqSeed, salt)
+	for _, t := range c.win[:c.n] {
 		h = mathutil.Hash2(h, uint64(t)+0x1000)
 	}
 	return h
-}
-
-// Extend returns a context with one more history token appended. The
-// underlying slice is copied only when needed by the caller; Extend always
-// copies to keep contexts immutable under tree exploration.
-func (c Context) Extend(tok Token) Context {
-	h := make([]Token, len(c.Hist)+1)
-	copy(h, c.Hist)
-	h[len(c.Hist)] = tok
-	return Context{ReqSeed: c.ReqSeed, Hist: h}
 }
 
 // Model is a synthetic autoregressive language model.
@@ -175,6 +282,12 @@ type SyntheticLM struct {
 	weights []float64
 	// tail is the mass reserved outside the candidate set.
 	tail float64
+	// strictOrder reports that weights are strictly decreasing, which lets
+	// DraftLM rebuild mistaken distributions by swapping token positions
+	// instead of sorting.
+	strictOrder bool
+	// cache memoizes hash -> distribution (nil when disabled).
+	cache *distCache
 }
 
 // NewSyntheticLM constructs a target model.
@@ -196,7 +309,18 @@ func NewSyntheticLM(name string, seed uint64, vocab, branch int, sharpness, tail
 	for i := range w {
 		w[i] *= 1 - tail
 	}
-	return &SyntheticLM{name: name, seed: seed, vocab: vocab, branch: branch, weights: w, tail: tail}, nil
+	strict := true
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			strict = false
+			break
+		}
+	}
+	return &SyntheticLM{
+		name: name, seed: seed, vocab: vocab, branch: branch,
+		weights: w, tail: tail, strictOrder: strict,
+		cache: newDistCache(DefaultDistCacheSize),
+	}, nil
 }
 
 // MustSyntheticLM panics on construction error; for fixed experiment setups.
@@ -214,24 +338,55 @@ func (m *SyntheticLM) Name() string { return m.name }
 // Vocab implements Model.
 func (m *SyntheticLM) Vocab() int { return m.vocab }
 
+// SetDistCacheSize resizes (and clears) the model's distribution cache. The
+// size is rounded up to a power of two; size <= 0 disables caching (every
+// Dist call recomputes — the reference path cached runs must match
+// byte-for-byte).
+func (m *SyntheticLM) SetDistCacheSize(size int) { m.cache = newDistCache(size) }
+
+// CacheStats returns cumulative (hits, misses) of the distribution cache.
+func (m *SyntheticLM) CacheStats() (hits, misses uint64) { return m.cache.stats() }
+
 // Dist implements Model: candidate tokens are chosen by hashing the context;
 // Zipf weights are assigned in hash order so the distribution is a
 // deterministic function of (model seed, request seed, history window).
+// Results are memoized by context hash; a cache hit allocates nothing.
 func (m *SyntheticLM) Dist(ctx Context) Dist {
-	h := ctx.hash(m.seed)
+	return m.distForHash(ctx.hash(m.seed))
+}
+
+// distForHash returns the (possibly cached) distribution for a context hash.
+func (m *SyntheticLM) distForHash(h uint64) Dist {
+	if d, ok := m.cache.get(h, 0); ok {
+		return d
+	}
+	d := m.computeDist(h)
+	m.cache.put(h, 0, d)
+	return d
+}
+
+// computeDist materializes the distribution for a context hash. Candidate
+// dedup uses a linear scan (branch is small), not a map, so the only
+// allocations are the entry slices that outlive the call in the cache.
+func (m *SyntheticLM) computeDist(h uint64) Dist {
 	entries := make([]TokenProb, 0, m.branch)
-	seen := make(map[Token]struct{}, m.branch)
 	x := h
 	for len(entries) < m.branch {
 		x = mathutil.SplitMix64(x)
 		tok := Token(x % uint64(m.vocab))
-		if _, dup := seen[tok]; dup {
+		dup := false
+		for i := range entries {
+			if entries[i].Token == tok {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[tok] = struct{}{}
 		entries = append(entries, TokenProb{Token: tok, Prob: m.weights[len(entries)]})
 	}
-	return Dist{Entries: entries, Tail: m.tail, Vocab: m.vocab}
+	return Dist{Entries: entries, Tail: m.tail, Vocab: m.vocab}.Indexed()
 }
 
 // DraftLM approximates a target model with tunable alignment, mimicking a
@@ -257,6 +412,9 @@ type DraftLM struct {
 	target *SyntheticLM
 	alpha  float64
 	seed   uint64
+	// cache memoizes (draft hash, target hash) -> distribution. The pair
+	// fully determines the output, so caching is exact.
+	cache *distCache
 }
 
 // NewDraftLM builds a draft for target with the given per-context agreement
@@ -265,7 +423,10 @@ func NewDraftLM(name string, target *SyntheticLM, alpha float64, seed uint64) (*
 	if alpha < 0 || alpha > 1 {
 		return nil, fmt.Errorf("lm: alpha %g out of [0,1]", alpha)
 	}
-	return &DraftLM{name: name, target: target, alpha: alpha, seed: seed}, nil
+	return &DraftLM{
+		name: name, target: target, alpha: alpha, seed: seed,
+		cache: newDistCache(DefaultDistCacheSize),
+	}, nil
 }
 
 // MustDraftLM panics on construction error.
@@ -286,11 +447,30 @@ func (d *DraftLM) Vocab() int { return d.target.vocab }
 // Alpha returns the draft/target per-context agreement rate.
 func (d *DraftLM) Alpha() float64 { return d.alpha }
 
-// Dist implements Model.
+// SetDistCacheSize resizes (and clears) the draft's distribution cache;
+// size <= 0 disables caching (see SyntheticLM.SetDistCacheSize).
+func (d *DraftLM) SetDistCacheSize(size int) { d.cache = newDistCache(size) }
+
+// CacheStats returns cumulative (hits, misses) of the draft's cache.
+func (d *DraftLM) CacheStats() (hits, misses uint64) { return d.cache.stats() }
+
+// Dist implements Model. Results are memoized by the (draft, target) context
+// hash pair; a cache hit allocates nothing.
 func (d *DraftLM) Dist(ctx Context) Dist {
-	p := d.target.Dist(ctx)
-	h := ctx.hash(d.seed)
-	u := float64(h>>11) / (1 << 53)
+	hd := ctx.hash(d.seed)
+	ht := ctx.hash(d.target.seed)
+	if dist, ok := d.cache.get(hd, ht); ok {
+		return dist
+	}
+	dist := d.computeDist(hd, ht)
+	d.cache.put(hd, ht, dist)
+	return dist
+}
+
+// computeDist materializes the draft distribution from the context hash pair.
+func (d *DraftLM) computeDist(hd, ht uint64) Dist {
+	p := d.target.distForHash(ht)
+	u := float64(hd>>11) / (1 << 53)
 	if u < d.alpha || len(p.Entries) < 2 {
 		return p
 	}
@@ -301,15 +481,22 @@ func (d *DraftLM) Dist(ctx Context) Dist {
 	// to recover where sequence speculation stalls).
 	entries := make([]TokenProb, len(p.Entries))
 	copy(entries, p.Entries)
-	j := disagreeRank(mathutil.SplitMix64(h), len(entries)-1)
-	entries[0].Prob, entries[j].Prob = entries[j].Prob, entries[0].Prob
-	sort.SliceStable(entries, func(a, b int) bool {
-		if entries[a].Prob != entries[b].Prob {
-			return entries[a].Prob > entries[b].Prob
-		}
-		return entries[a].Token < entries[b].Token
-	})
-	return Dist{Entries: entries, Tail: p.Tail, Vocab: p.Vocab}
+	j := disagreeRank(mathutil.SplitMix64(hd), len(entries)-1)
+	if d.target.strictOrder {
+		// With strictly decreasing weights, swapping the probabilities at
+		// ranks 0 and j and re-sorting is exactly a swap of the two tokens'
+		// positions (probabilities stay the rank-ordered weights).
+		entries[0].Token, entries[j].Token = entries[j].Token, entries[0].Token
+	} else {
+		entries[0].Prob, entries[j].Prob = entries[j].Prob, entries[0].Prob
+		sort.SliceStable(entries, func(a, b int) bool {
+			if entries[a].Prob != entries[b].Prob {
+				return entries[a].Prob > entries[b].Prob
+			}
+			return entries[a].Token < entries[b].Token
+		})
+	}
+	return Dist{Entries: entries, Tail: p.Tail, Vocab: p.Vocab}.Indexed()
 }
 
 // disagreeRank draws the target rank a mistaken draft confuses with the top:

@@ -46,7 +46,7 @@ func TestDistNormalized(t *testing.T) {
 
 func TestDistDeterministic(t *testing.T) {
 	m := newTarget(t)
-	ctx := Context{ReqSeed: 7, Hist: []Token{1, 2, 3}}
+	ctx := NewContext(7, []Token{1, 2, 3})
 	a := m.Dist(ctx)
 	b := m.Dist(ctx)
 	if len(a.Entries) != len(b.Entries) {
@@ -61,8 +61,8 @@ func TestDistDeterministic(t *testing.T) {
 
 func TestDistDependsOnContext(t *testing.T) {
 	m := newTarget(t)
-	a := m.Dist(Context{ReqSeed: 7, Hist: []Token{1, 2, 3}})
-	b := m.Dist(Context{ReqSeed: 7, Hist: []Token{1, 2, 4}})
+	a := m.Dist(NewContext(7, []Token{1, 2, 3}))
+	b := m.Dist(NewContext(7, []Token{1, 2, 4}))
 	if a.Argmax() == b.Argmax() {
 		// Possible by chance; require at least the candidate sets differ.
 		same := true
@@ -93,11 +93,11 @@ func TestHistoryWindowLimits(t *testing.T) {
 	for i := range long {
 		long[i] = Token(i)
 	}
-	a := m.Dist(Context{ReqSeed: 5, Hist: long})
+	a := m.Dist(NewContext(5, long))
 	// Changing a token OUTSIDE the window must not change the distribution.
 	long2 := append([]Token(nil), long...)
 	long2[0] = 999
-	b := m.Dist(Context{ReqSeed: 5, Hist: long2})
+	b := m.Dist(NewContext(5, long2))
 	for i := range a.Entries {
 		if a.Entries[i] != b.Entries[i] {
 			t.Fatal("token outside history window changed the distribution")
@@ -106,7 +106,7 @@ func TestHistoryWindowLimits(t *testing.T) {
 	// Changing a token INSIDE the window must change it.
 	long3 := append([]Token(nil), long...)
 	long3[len(long3)-1] = 999
-	c := m.Dist(Context{ReqSeed: 5, Hist: long3})
+	c := m.Dist(NewContext(5, long3))
 	if a.Argmax() == c.Argmax() && a.Entries[1].Token == c.Entries[1].Token {
 		t.Fatal("token inside history window did not change the distribution")
 	}
@@ -179,18 +179,44 @@ func TestSharpnessControlsTopProbability(t *testing.T) {
 }
 
 func TestContextExtendImmutable(t *testing.T) {
-	ctx := Context{ReqSeed: 1, Hist: []Token{1, 2}}
+	ctx := NewContext(1, []Token{1, 2})
 	ext := ctx.Extend(3)
-	if len(ctx.Hist) != 2 {
+	if ctx.WindowLen() != 2 {
 		t.Fatal("Extend mutated the original context")
 	}
-	if len(ext.Hist) != 3 || ext.Hist[2] != 3 {
-		t.Fatalf("Extend result wrong: %v", ext.Hist)
+	if w := ext.Window(); len(w) != 3 || w[2] != 3 {
+		t.Fatalf("Extend result wrong: %v", w)
 	}
 	// Extending the original again must not corrupt ext.
 	_ = ctx.Extend(9)
-	if ext.Hist[2] != 3 {
+	if ext.Window()[2] != 3 {
 		t.Fatal("sibling Extend corrupted earlier extension")
+	}
+}
+
+func TestContextWindowSlides(t *testing.T) {
+	ctx := NewContext(1, nil)
+	for i := Token(0); i < 10; i++ {
+		ctx = ctx.Extend(i)
+	}
+	want := []Token{6, 7, 8, 9}
+	got := ctx.Window()
+	if len(got) != HistoryWindow {
+		t.Fatalf("window length %d, want %d", len(got), HistoryWindow)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window %v, want %v", got, want)
+		}
+	}
+	// NewContext over the full history and the incrementally extended
+	// context must agree (and hash identically).
+	full := make([]Token, 10)
+	for i := range full {
+		full[i] = Token(i)
+	}
+	if NewContext(1, full) != ctx {
+		t.Fatal("NewContext(full history) differs from incremental Extend")
 	}
 }
 
@@ -271,7 +297,7 @@ func TestDraftDistNormalized(t *testing.T) {
 		for i, b := range toks {
 			hist[i] = Token(b)
 		}
-		d := draft.Dist(Context{ReqSeed: seed, Hist: hist})
+		d := draft.Dist(NewContext(seed, hist))
 		return d.Validate() == nil
 	}, &quick.Config{MaxCount: 200})
 	if err != nil {

@@ -183,7 +183,7 @@ func (r *Request) LastToken() lm.Token {
 // Commit appends tokens produced by one decode/verify iteration ending at
 // time now, and marks completion when the output budget is reached. The
 // returned count is the number of tokens actually kept (clipped at
-// MaxNewTokens).
+// MaxNewTokens). The input slice is not retained.
 func (r *Request) Commit(tokens []lm.Token, now float64) int {
 	kept := 0
 	for _, t := range tokens {
@@ -194,6 +194,25 @@ func (r *Request) Commit(tokens []lm.Token, now float64) int {
 		r.Ctx = r.Ctx.Extend(t)
 		kept++
 	}
+	r.finishCommit(kept, now)
+	return kept
+}
+
+// Commit1 commits a single token (see Commit) without requiring the caller
+// to build a slice.
+func (r *Request) Commit1(tok lm.Token, now float64) int {
+	kept := 0
+	if len(r.Output) < r.MaxNewTokens {
+		r.Output = append(r.Output, tok)
+		r.Ctx = r.Ctx.Extend(tok)
+		kept = 1
+	}
+	r.finishCommit(kept, now)
+	return kept
+}
+
+// finishCommit applies the bookkeeping shared by Commit and Commit1.
+func (r *Request) finishCommit(kept int, now float64) {
 	if kept > 0 && r.FirstTokenTime < 0 {
 		r.FirstTokenTime = now
 	}
@@ -202,7 +221,6 @@ func (r *Request) Commit(tokens []lm.Token, now float64) int {
 		r.Phase = Done
 		r.DoneTime = now
 	}
-	return kept
 }
 
 // DecodeLatency returns l_i: the time elapsed since the first decode step.

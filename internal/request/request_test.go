@@ -97,11 +97,26 @@ func TestCommitLifecycle(t *testing.T) {
 func TestCommitExtendsContext(t *testing.T) {
 	r := New(1, Chat, 0.05, 0, 16, 10, 7)
 	r.Commit([]lm.Token{5, 6}, 1)
-	if len(r.Ctx.Hist) != 2 || r.Ctx.Hist[1] != 6 {
-		t.Fatalf("context hist %v", r.Ctx.Hist)
+	if w := r.Ctx.Window(); len(w) != 2 || w[1] != 6 {
+		t.Fatalf("context window %v", w)
 	}
 	if r.LastToken() != 6 {
 		t.Fatal("LastToken should be the newest")
+	}
+}
+
+func TestCommit1MatchesCommit(t *testing.T) {
+	a := New(1, Chat, 0.05, 0, 16, 3, 7)
+	b := New(1, Chat, 0.05, 0, 16, 3, 7)
+	a.Commit([]lm.Token{5}, 1)
+	b.Commit1(5, 1)
+	a.Commit([]lm.Token{6, 8}, 2) // second call clips at MaxNewTokens
+	b.Commit1(6, 2)
+	b.Commit1(8, 2)
+	if a.Phase != b.Phase || a.DoneTime != b.DoneTime ||
+		a.FirstTokenTime != b.FirstTokenTime || a.AcceptedTokens != b.AcceptedTokens ||
+		a.OutputLen() != b.OutputLen() || a.Ctx != b.Ctx {
+		t.Fatalf("Commit1 state diverged from Commit: %+v vs %+v", a, b)
 	}
 }
 

@@ -47,6 +47,14 @@ type AdaServe struct {
 	// previous iteration's actual duration.
 	lastIterTime float64
 
+	// Per-iteration scratch, reused across Iterate calls so the steady
+	// state allocates nothing: the pooled selector plus the selection-input,
+	// verify-item and prefill-item slices.
+	selector core.Selector
+	selReqs  []core.SelectRequest
+	items    []engine.VerifyItem
+	prefill  []engine.PrefillItem
+
 	// Debug accumulates per-iteration internals for tests and diagnosis.
 	Debug AdaServeDebug
 }
@@ -186,14 +194,14 @@ func (a *AdaServe) Iterate(now float64) IterationStats {
 	}
 
 	// Steps 2+3: SLO-customized and throughput-optimized selection.
-	selReqs := make([]core.SelectRequest, n)
+	a.selReqs = a.selReqs[:0]
 	candNodes := 0
 	for i, r := range decode {
 		minAcc := r.MinAcceptFor(now, tspec, r.TPOTSLO*a.SLOMargin)
 		if minAcc < 0 {
 			minAcc = 0
 		}
-		selReqs[i] = core.SelectRequest{Cand: spec.Trees[i], MinAccept: minAcc}
+		a.selReqs = append(a.selReqs, core.SelectRequest{Cand: spec.Trees[i], MinAccept: minAcc})
 		candNodes += spec.Trees[i].Size()
 	}
 	// n_max prevents requests that are far behind their SLO from
@@ -210,7 +218,7 @@ func (a *AdaServe) Iterate(now float64) IterationStats {
 			nmax = fair
 		}
 	}
-	selRes, err := core.Select(selReqs, core.SelectConfig{
+	selRes, err := a.selector.Select(a.selReqs, core.SelectConfig{
 		Budget: budget, Depth: d, PerRequestMax: nmax,
 	})
 	if err != nil {
@@ -221,11 +229,11 @@ func (a *AdaServe) Iterate(now float64) IterationStats {
 	// Step 4: tree verification, with prefill chunks co-batched into the
 	// same pass. The chunk budget grows with the prefill backlog so prompt
 	// processing keeps pace without monolithic latency spikes.
-	items := make([]engine.VerifyItem, n)
+	a.items = a.items[:0]
 	for i, r := range decode {
-		items[i] = engine.VerifyItem{Req: r, Sel: selRes.Selections[i]}
+		a.items = append(a.items, engine.VerifyItem{Req: r, Sel: selRes.Selections[i]})
 	}
-	var prefill []engine.PrefillItem
+	a.prefill = a.prefill[:0]
 	if a.PrefillChunk > 0 {
 		backlog := 0
 		pre := a.pool.PrefillingRequests()
@@ -247,11 +255,11 @@ func (a *AdaServe) Iterate(now float64) IterationStats {
 			if c > chunkBudget {
 				c = chunkBudget
 			}
-			prefill = append(prefill, engine.PrefillItem{Req: r, Chunk: c})
+			a.prefill = append(a.prefill, engine.PrefillItem{Req: r, Chunk: c})
 			chunkBudget -= c
 		}
 	}
-	ver := a.cfg.Engine.VerifyTreesWithPrefill(items, prefill)
+	ver := a.cfg.Engine.VerifyTreesWithPrefill(a.items, a.prefill)
 
 	st := IterationStats{
 		Elapsed:    spec.GPUTime + selCPU + ver.GPUTime,

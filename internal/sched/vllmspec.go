@@ -15,6 +15,10 @@ type VLLMSpec struct {
 	base
 	// K is the static speculation length.
 	K int
+
+	// Per-iteration scratch reused across Iterate calls.
+	items []engine.VerifyItem
+	sels  []*toktree.Selection
 }
 
 // NewVLLMSpec constructs the baseline with speculation length k.
@@ -54,16 +58,20 @@ func (v *VLLMSpec) Iterate(now float64) IterationStats {
 	if err != nil {
 		panic(err)
 	}
-	items := make([]engine.VerifyItem, len(decode))
+	v.items = v.items[:0]
+	for len(v.sels) < len(decode) {
+		v.sels = append(v.sels, &toktree.Selection{})
+	}
 	for i, r := range decode {
-		sel := toktree.NewSelection(spec.Trees[i])
+		sel := v.sels[i]
+		sel.Reset(spec.Trees[i])
 		// Static speculation verifies the whole chain unconditionally.
 		for id := 1; id < spec.Trees[i].Size(); id++ {
 			sel.Add(id)
 		}
-		items[i] = engine.VerifyItem{Req: r, Sel: sel}
+		v.items = append(v.items, engine.VerifyItem{Req: r, Sel: sel})
 	}
-	ver := v.cfg.Engine.VerifyTrees(items)
+	ver := v.cfg.Engine.VerifyTrees(v.items)
 	st := IterationStats{
 		Elapsed:    spec.GPUTime + ver.GPUTime + v.cfg.SchedOverhead,
 		SchedCPU:   v.cfg.SchedOverhead,

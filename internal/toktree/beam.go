@@ -19,6 +19,111 @@ type BeamResult struct {
 	Steps int
 }
 
+// beamEntry is one live beam node: its tree ID plus the decoding context
+// under which its children are proposed. lm.Context is a value type, so the
+// beam carries no heap references.
+type beamEntry struct {
+	nodeID int
+	ctx    lm.Context
+}
+
+// beamCand is one candidate child during a beam step.
+type beamCand struct {
+	parentID  int
+	parentCtx lm.Context
+	tok       lm.Token
+	draftProb float64
+	pathProb  float64
+}
+
+// BeamBuilder runs beam searches with reusable scratch (beam and candidate
+// buffers), so repeated searches — one per request per iteration — allocate
+// nothing once warm. The zero value is ready to use. Not safe for concurrent
+// use; engines own one each.
+type BeamBuilder struct {
+	beam  []beamEntry
+	next  []beamEntry
+	cands []beamCand
+}
+
+// BeamBuilder implements sort.Interface over its candidate buffer so the
+// per-step ranking runs through sort.Sort without the reflection closures
+// (and their allocations) of sort.Slice. The (parentID, tok) pair is unique,
+// so the ordering is total and algorithm-independent.
+
+// Len implements sort.Interface.
+func (bb *BeamBuilder) Len() int { return len(bb.cands) }
+
+// Less implements sort.Interface: descending path probability, ties by
+// (parent node ID, token) ascending.
+func (bb *BeamBuilder) Less(i, j int) bool {
+	a, b := &bb.cands[i], &bb.cands[j]
+	if a.pathProb != b.pathProb {
+		return a.pathProb > b.pathProb
+	}
+	if a.parentID != b.parentID {
+		return a.parentID < b.parentID
+	}
+	return a.tok < b.tok
+}
+
+// Swap implements sort.Interface.
+func (bb *BeamBuilder) Swap(i, j int) { bb.cands[i], bb.cands[j] = bb.cands[j], bb.cands[i] }
+
+// Search grows a candidate token tree of depth d and beam width w into t,
+// which must contain only a root (fresh from NewTree, TreePool.Get, or
+// Reset). It returns the number of draft steps executed and draft forward
+// positions consumed. The algorithm matches BeamSearch exactly; only the
+// scratch storage is reused.
+func (bb *BeamBuilder) Search(t *Tree, draft lm.Model, d, w int) (steps, draftTokens int, err error) {
+	if d < 0 {
+		return 0, 0, fmt.Errorf("toktree: negative beam depth %d", d)
+	}
+	if w < 1 && d > 0 {
+		return 0, 0, fmt.Errorf("toktree: beam width %d < 1", w)
+	}
+	if d == 0 {
+		return 0, 0, nil
+	}
+
+	bb.beam = append(bb.beam[:0], beamEntry{nodeID: 0, ctx: t.Ctx})
+
+	for step := 0; step < d; step++ {
+		bb.cands = bb.cands[:0]
+		for _, be := range bb.beam {
+			draftTokens++
+			dist := draft.Dist(be.ctx)
+			parentPath := t.Nodes[be.nodeID].PathProb
+			top := dist.Entries
+			if len(top) > w {
+				top = top[:w]
+			}
+			for _, e := range top {
+				bb.cands = append(bb.cands, beamCand{
+					parentID: be.nodeID, parentCtx: be.ctx, tok: e.Token,
+					draftProb: e.Prob, pathProb: parentPath * e.Prob,
+				})
+			}
+		}
+		if len(bb.cands) == 0 {
+			break
+		}
+		sort.Sort(bb)
+		cands := bb.cands
+		if len(cands) > w {
+			cands = cands[:w]
+		}
+		bb.next = bb.next[:0]
+		for _, c := range cands {
+			id := t.AddChild(c.parentID, c.tok, c.draftProb)
+			bb.next = append(bb.next, beamEntry{nodeID: id, ctx: c.parentCtx.Extend(c.tok)})
+		}
+		bb.beam, bb.next = bb.next, bb.beam
+		steps++
+	}
+	return steps, draftTokens, nil
+}
+
 // BeamSearch constructs a candidate token tree of depth d and beam width w
 // for a request whose decoding context is ctx and whose last committed token
 // is rootTok (Algorithm 2's speculation phase).
@@ -27,68 +132,18 @@ type BeamResult struct {
 // subsequent step expands all beam nodes and keeps the w children with the
 // highest *path* probability (global per request, as in Eagle-2-style beam
 // search), so every non-root level holds at most w nodes.
+//
+// This convenience form allocates fresh scratch per call; the engine's hot
+// path reuses a BeamBuilder and pooled trees instead. Both produce identical
+// trees.
 func BeamSearch(draft lm.Model, ctx lm.Context, rootTok lm.Token, d, w int) (*BeamResult, error) {
-	if d < 0 {
-		return nil, fmt.Errorf("toktree: negative beam depth %d", d)
-	}
-	if w < 1 && d > 0 {
-		return nil, fmt.Errorf("toktree: beam width %d < 1", w)
-	}
 	t := NewTree(ctx, rootTok)
-	res := &BeamResult{Tree: t}
-	if d == 0 {
-		return res, nil
+	var bb BeamBuilder
+	steps, draftTokens, err := bb.Search(t, draft, d, w)
+	if err != nil {
+		return nil, err
 	}
-
-	type beamEntry struct {
-		nodeID int
-		ctx    lm.Context
-	}
-	beam := []beamEntry{{nodeID: 0, ctx: ctx}}
-
-	for step := 0; step < d; step++ {
-		type cand struct {
-			parent    beamEntry
-			tok       lm.Token
-			draftProb float64
-			pathProb  float64
-		}
-		var cands []cand
-		for _, be := range beam {
-			res.DraftTokensProcessed++
-			dist := draft.Dist(be.ctx)
-			parentPath := t.Nodes[be.nodeID].PathProb
-			for _, e := range dist.TopK(w) {
-				cands = append(cands, cand{
-					parent: be, tok: e.Token,
-					draftProb: e.Prob, pathProb: parentPath * e.Prob,
-				})
-			}
-		}
-		if len(cands) == 0 {
-			break
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].pathProb != cands[j].pathProb {
-				return cands[i].pathProb > cands[j].pathProb
-			}
-			if cands[i].parent.nodeID != cands[j].parent.nodeID {
-				return cands[i].parent.nodeID < cands[j].parent.nodeID
-			}
-			return cands[i].tok < cands[j].tok
-		})
-		if len(cands) > w {
-			cands = cands[:w]
-		}
-		next := make([]beamEntry, 0, len(cands))
-		for _, c := range cands {
-			id := t.AddChild(c.parent.nodeID, c.tok, c.draftProb)
-			next = append(next, beamEntry{nodeID: id, ctx: c.parent.ctx.Extend(c.tok)})
-		}
-		beam = next
-		res.Steps++
-	}
-	return res, nil
+	return &BeamResult{Tree: t, DraftTokensProcessed: draftTokens, Steps: steps}, nil
 }
 
 // ChainSpeculate builds a depth-k chain (beam width 1): the draft greedily

@@ -1,0 +1,164 @@
+package toktree
+
+import (
+	"sort"
+	"testing"
+
+	"adaserve/internal/lm"
+	"adaserve/internal/mathutil"
+)
+
+func poolTestDraft(t *testing.T) lm.Model {
+	t.Helper()
+	target := lm.MustSyntheticLM("t", 1, 4096, 16, 3.2, 0.02)
+	return lm.MustDraftLM("d", target, 0.85, 2)
+}
+
+// treesEqual compares full tree structure node by node.
+func treesEqual(a, b *Tree) bool {
+	if len(a.Nodes) != len(b.Nodes) || a.Ctx != b.Ctx {
+		return false
+	}
+	for i := range a.Nodes {
+		x, y := &a.Nodes[i], &b.Nodes[i]
+		if x.ID != y.ID || x.Token != y.Token || x.Parent != y.Parent ||
+			x.Depth != y.Depth || x.DraftProb != y.DraftProb || x.PathProb != y.PathProb ||
+			len(x.Children) != len(y.Children) {
+			return false
+		}
+		for k := range x.Children {
+			if x.Children[k] != y.Children[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPooledBeamMatchesFresh drives a pooled tree + reused BeamBuilder
+// through many searches and checks every tree is byte-identical to a fresh
+// BeamSearch of the same inputs — the pooling-determinism contract the
+// engine relies on.
+func TestPooledBeamMatchesFresh(t *testing.T) {
+	draft := poolTestDraft(t)
+	var pool TreePool
+	var bb BeamBuilder
+	rng := mathutil.NewRNG(42)
+	var prev *Tree
+	for i := 0; i < 200; i++ {
+		ctx := lm.NewContext(uint64(i%13), []lm.Token{lm.Token(rng.Intn(64))})
+		root := lm.Token(rng.Intn(256))
+		d, w := 1+rng.Intn(7), 1+rng.Intn(4)
+
+		if prev != nil {
+			pool.Put(prev)
+		}
+		pooled := pool.Get(ctx, root)
+		if _, _, err := bb.Search(pooled, draft, d, w); err != nil {
+			t.Fatal(err)
+		}
+		prev = pooled
+
+		fresh, err := BeamSearch(draft, ctx, root, d, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !treesEqual(pooled, fresh.Tree) {
+			t.Fatalf("iteration %d (d=%d w=%d): pooled tree differs from fresh", i, d, w)
+		}
+		if err := pooled.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+// TestTreeResetReusesStorage checks Reset produces a root-only tree and that
+// warm rebuilds do not grow node storage.
+func TestTreeResetReusesStorage(t *testing.T) {
+	draft := poolTestDraft(t)
+	tr := NewTree(lm.Context{ReqSeed: 1}, 7)
+	var bb BeamBuilder
+	if _, _, err := bb.Search(tr, draft, 6, 4); err != nil {
+		t.Fatal(err)
+	}
+	grown := cap(tr.Nodes)
+	tr.Reset(lm.Context{ReqSeed: 2}, 9)
+	if tr.Size() != 1 || tr.Nodes[0].Token != 9 || tr.Nodes[0].Parent != -1 {
+		t.Fatalf("reset tree malformed: %+v", tr.Nodes[0])
+	}
+	if cap(tr.Nodes) != grown {
+		t.Fatal("Reset dropped node capacity")
+	}
+	if _, _, err := bb.Search(tr, draft, 6, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddChildInsertionMatchesSort fuzzes AddChild's insertion step against
+// a reference stable sort over random child orders.
+func TestAddChildInsertionMatchesSort(t *testing.T) {
+	rng := mathutil.NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		tr := NewTree(lm.Context{ReqSeed: uint64(trial)}, 0)
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			// Coarse probabilities force ties; tokens may repeat across
+			// children to exercise the secondary key.
+			tr.AddChild(0, lm.Token(rng.Intn(4)), float64(rng.Intn(3))/4)
+		}
+		got := append([]int(nil), tr.Nodes[0].Children...)
+		want := append([]int(nil), got...)
+		sort.SliceStable(want, func(i, j int) bool {
+			a, b := &tr.Nodes[want[i]], &tr.Nodes[want[j]]
+			if a.DraftProb != b.DraftProb {
+				return a.DraftProb > b.DraftProb
+			}
+			return a.Token < b.Token
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: children %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestVerifyIntoMatchesVerify runs pooled-scratch verification against the
+// allocating form over many trees and seeds.
+func TestVerifyIntoMatchesVerify(t *testing.T) {
+	target := lm.MustSyntheticLM("t", 1, 4096, 16, 3.2, 0.02)
+	draft := lm.MustDraftLM("d", target, 0.8, 2)
+	var sc VerifyScratch
+	var res VerifyResult
+	for i := 0; i < 100; i++ {
+		br, err := BeamSearch(draft, lm.Context{ReqSeed: uint64(i)}, 5, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := NewSelection(br.Tree)
+		for id := 1; id < br.Tree.Size(); id++ {
+			if sel.Has(br.Tree.Nodes[id].Parent) && id%3 != 0 {
+				sel.Add(id)
+			}
+		}
+		// Identical RNG state for both walks.
+		v1 := lm.NewVerifier(target, draft, lm.RuleSampleMatch, mathutil.NewRNG(uint64(i)))
+		v2 := lm.NewVerifier(target, draft, lm.RuleSampleMatch, mathutil.NewRNG(uint64(i)))
+		want := Verify(sel, v1)
+		VerifyInto(&res, sel, v2, &sc)
+		if want.Correction != res.Correction || len(want.Accepted) != len(res.Accepted) {
+			t.Fatalf("tree %d: pooled verify diverged: %+v vs %+v", i, want, res)
+		}
+		for k := range want.Accepted {
+			if want.Accepted[k] != res.Accepted[k] || want.AcceptedNodeIDs[k] != res.AcceptedNodeIDs[k] {
+				t.Fatalf("tree %d: accepted prefix differs at %d", i, k)
+			}
+		}
+		if want.TokensVerified != res.TokensVerified {
+			t.Fatalf("tree %d: TokensVerified %d vs %d", i, want.TokensVerified, res.TokensVerified)
+		}
+	}
+}

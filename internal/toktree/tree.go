@@ -17,7 +17,6 @@ package toktree
 
 import (
 	"fmt"
-	"sort"
 
 	"adaserve/internal/lm"
 )
@@ -50,6 +49,10 @@ type Tree struct {
 	// Ctx is the request's decoding context at the root (history includes
 	// the root token).
 	Ctx lm.Context
+
+	// spareChildren stashes child-ID slices recovered by Reset so reused
+	// trees stop allocating once warm.
+	spareChildren [][]int
 }
 
 // NewTree creates a tree holding only a root for the given context. rootTok
@@ -59,6 +62,21 @@ func NewTree(ctx lm.Context, rootTok lm.Token) *Tree {
 		Nodes: []Node{{ID: 0, Token: rootTok, Parent: -1, Depth: 0, DraftProb: 1, PathProb: 1}},
 		Ctx:   ctx,
 	}
+}
+
+// Reset re-roots the tree in place for reuse: node storage and the child-ID
+// slices of the previous occupancy are retained, so a warm tree builds
+// without allocating. Any outstanding references into the old tree
+// (Selections, node pointers) become invalid.
+func (t *Tree) Reset(ctx lm.Context, rootTok lm.Token) {
+	for i := range t.Nodes {
+		if c := t.Nodes[i].Children; cap(c) > 0 {
+			t.spareChildren = append(t.spareChildren, c[:0])
+		}
+	}
+	t.Nodes = t.Nodes[:0]
+	t.Nodes = append(t.Nodes, Node{ID: 0, Token: rootTok, Parent: -1, Depth: 0, DraftProb: 1, PathProb: 1})
+	t.Ctx = ctx
 }
 
 // AddChild appends a node under parent and returns its ID. Children are kept
@@ -76,14 +94,26 @@ func (t *Tree) AddChild(parent int, tok lm.Token, draftProb float64) int {
 	// Take the parent pointer only after append: append may reallocate
 	// t.Nodes, and a pointer captured earlier would mutate the stale array.
 	p := &t.Nodes[parent]
-	p.Children = append(p.Children, id)
-	sort.SliceStable(p.Children, func(i, j int) bool {
-		a, b := &t.Nodes[p.Children[i]], &t.Nodes[p.Children[j]]
-		if a.DraftProb != b.DraftProb {
-			return a.DraftProb > b.DraftProb
+	if p.Children == nil {
+		if n := len(t.spareChildren); n > 0 {
+			p.Children = t.spareChildren[n-1]
+			t.spareChildren = t.spareChildren[:n-1]
 		}
-		return a.Token < b.Token
-	})
+	}
+	p.Children = append(p.Children, id)
+	// The existing children are already sorted (this is the only insertion
+	// point), so one insertion pass from the tail replaces a full sort; beam
+	// search appends in sorted order, making this a no-op there.
+	ch := p.Children
+	for k := len(ch) - 1; k > 0; k-- {
+		prev, cur := &t.Nodes[ch[k-1]], &t.Nodes[ch[k]]
+		if cur.DraftProb > prev.DraftProb ||
+			(cur.DraftProb == prev.DraftProb && cur.Token < prev.Token) {
+			ch[k-1], ch[k] = ch[k], ch[k-1]
+			continue
+		}
+		break
+	}
 	return id
 }
 
@@ -186,11 +216,27 @@ type Selection struct {
 
 // NewSelection creates a selection over t containing only the root.
 func NewSelection(t *Tree) *Selection {
-	s := &Selection{tree: t, mask: make([]bool, len(t.Nodes))}
+	s := &Selection{}
+	s.Reset(t)
+	return s
+}
+
+// Reset re-targets the selection at tree t with only the root selected,
+// reusing the mask's capacity so pooled selections stop allocating once
+// warm.
+func (s *Selection) Reset(t *Tree) {
+	s.tree = t
+	if cap(s.mask) < len(t.Nodes) {
+		s.mask = make([]bool, len(t.Nodes))
+	} else {
+		s.mask = s.mask[:len(t.Nodes)]
+		for i := range s.mask {
+			s.mask[i] = false
+		}
+	}
 	s.mask[0] = true
 	s.count = 1
 	s.sumPathProb = 1
-	return s
 }
 
 // Add marks node id as selected. It panics if the node's parent is not

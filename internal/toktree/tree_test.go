@@ -110,8 +110,8 @@ func TestNodeCtxAndPathTokens(t *testing.T) {
 	}
 	ctx := tr.NodeCtx(id)
 	// Context at 105 includes tokens up to but excluding 105.
-	if len(ctx.Hist) != 2 || ctx.Hist[0] != 100 || ctx.Hist[1] != 102 {
-		t.Fatalf("node ctx hist %v", ctx.Hist)
+	if w := ctx.Window(); len(w) != 2 || w[0] != 100 || w[1] != 102 {
+		t.Fatalf("node ctx window %v", w)
 	}
 }
 

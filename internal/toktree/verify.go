@@ -24,6 +24,14 @@ type VerifyResult struct {
 // paper's formulation (which counts the root).
 func (r *VerifyResult) NumNewTokens() int { return len(r.Accepted) + 1 }
 
+// VerifyScratch holds the per-level buffers of a verification walk so
+// repeated verifies — one per request per iteration — allocate nothing once
+// warm. The zero value is ready to use. Not safe for concurrent use.
+type VerifyScratch struct {
+	children []int
+	branches []lm.Branch
+}
+
 // Verify runs tree-based parallel verification of the selected subtree.
 //
 // Semantically the target scores every selected node in one batched pass
@@ -34,27 +42,44 @@ func (r *VerifyResult) NumNewTokens() int { return len(r.Accepted) + 1 }
 // where the bonus token is drawn from the target distribution at that
 // context.
 func Verify(sel *Selection, v *lm.Verifier) *VerifyResult {
+	res := &VerifyResult{}
+	var sc VerifyScratch
+	VerifyInto(res, sel, v, &sc)
+	return res
+}
+
+// VerifyInto is Verify with caller-owned result and scratch storage: res is
+// reset and refilled in place (its Accepted/AcceptedNodeIDs capacity is
+// reused), sc provides the walk buffers. The engine pools both across
+// iterations; results are identical to Verify's.
+func VerifyInto(res *VerifyResult, sel *Selection, v *lm.Verifier, sc *VerifyScratch) {
 	t := sel.Tree()
-	res := &VerifyResult{TokensVerified: sel.Size()}
+	res.Accepted = res.Accepted[:0]
+	res.AcceptedNodeIDs = res.AcceptedNodeIDs[:0]
+	res.Correction = 0
+	res.TokensVerified = sel.Size()
 	cur := 0
 	ctx := t.Ctx
 	for {
-		children := sel.SelectedChildren(cur)
-		if len(children) == 0 {
+		sc.children = sc.children[:0]
+		sc.branches = sc.branches[:0]
+		for _, c := range t.Nodes[cur].Children {
+			if sel.Has(c) {
+				sc.children = append(sc.children, c)
+				sc.branches = append(sc.branches, lm.Branch{Token: t.Nodes[c].Token})
+			}
+		}
+		if len(sc.children) == 0 {
 			// Past the last selected node: commit the bonus token.
 			res.Correction = bonusToken(v, ctx)
-			return res
+			return
 		}
-		branches := make([]lm.Branch, len(children))
-		for i, c := range children {
-			branches[i] = lm.Branch{Token: t.Nodes[c].Token}
-		}
-		idx, correction := v.AcceptAmong(ctx, branches)
+		idx, correction := v.AcceptAmong(ctx, sc.branches)
 		if idx < 0 {
 			res.Correction = correction
-			return res
+			return
 		}
-		chosen := children[idx]
+		chosen := sc.children[idx]
 		res.Accepted = append(res.Accepted, t.Nodes[chosen].Token)
 		res.AcceptedNodeIDs = append(res.AcceptedNodeIDs, chosen)
 		ctx = ctx.Extend(t.Nodes[chosen].Token)

@@ -1,0 +1,118 @@
+// benchjson converts `go test -bench` output on stdin into a stable JSON
+// artifact for benchmark-regression tracking (see scripts/bench.sh).
+//
+// Each benchmark line like
+//
+//	BenchmarkLMDist-8   1000000   27.4 ns/op   0 B/op   0 allocs/op   97.2 attain%
+//
+// becomes one result object keyed by the benchmark name (CPU-count suffix
+// stripped) with ns/op, B/op, allocs/op and any custom metrics. Environment
+// lines (goos/goarch/pkg/cpu) are captured once.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the full benchmark snapshot written to BENCH_<date>.json.
+type Artifact struct {
+	Date      string            `json:"date"`
+	GoVersion string            `json:"go_version"`
+	Env       map[string]string `json:"env,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp recorded in the artifact (e.g. 2026-07-27)")
+	flag.Parse()
+
+	art := Artifact{
+		Date:      *date,
+		GoVersion: runtime.Version(),
+		Env:       map[string]string{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				art.Env[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			art.Results = append(art.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line into a Result.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, false
+	}
+	name := f[0]
+	// Strip the -<GOMAXPROCS> suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -10,7 +10,8 @@
 //	adaserve-bench -exp fig10,fig11 -duration 120 -seed 7
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, ablations, cluster (replica scaling × router policy).
+// fig15, ablations, cluster (replica scaling × router policy), disagg
+// (colocated vs prefill/decode-disaggregated fleets × router × SLO mix).
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,all)")
 	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -87,6 +88,9 @@ func main() {
 		if all || want["cluster"] {
 			runClusterScaling(setup, opts)
 		}
+		if all || want["disagg"] {
+			runDisagg(setup, opts)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
@@ -101,6 +105,17 @@ func runClusterScaling(setup experiments.ModelSetup, opts experiments.RunOptions
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderClusterScaling(pts))
+}
+
+func runDisagg(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Printf("\n--- Disaggregated prefill/decode: 4-replica fleet splits x router x mix (%.1f rps aggregate, %s) ---\n",
+		experiments.DisaggAggregateRPS(setup), experiments.DisaggLink.Name)
+	pts, err := experiments.Disaggregation(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderDisagg(pts))
+	fmt.Println()
 }
 
 func runHardware(setup experiments.ModelSetup) {

@@ -8,11 +8,17 @@
 // cluster mode -rps is the per-replica rate (the trace carries
 // rps × replicas requests per second).
 //
+// With -roles the cluster is disaggregated: "-roles 2P2D" runs two dedicated
+// prefill replicas and two dedicated decode replicas, migrating each request
+// at prefill completion over the modeled interconnect. -roles implies the
+// replica count (overriding -replicas).
+//
 // Usage:
 //
 //	adaserve-sim -system AdaServe -model llama -rps 3.8 -duration 120
 //	adaserve-sim -system "vLLM-Spec (6)" -urgent 0.7 -slo-scale 0.8
 //	adaserve-sim -replicas 4 -router slo-aware
+//	adaserve-sim -roles 2P2D -router least-loaded
 package main
 
 import (
@@ -37,11 +43,21 @@ func main() {
 	sloScale := flag.Float64("slo-scale", 1.0, "scale applied to the most urgent SLO")
 	replicas := flag.Int("replicas", 1, "number of serving replicas (cluster mode when > 1)")
 	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware")
+	rolesFlag := flag.String("roles", "", "disaggregated role split, e.g. 2P2D (overrides -replicas)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
 	if *replicas < 1 {
 		log.Fatalf("-replicas %d: need at least 1", *replicas)
+	}
+	var roles []cluster.Role
+	if *rolesFlag != "" {
+		var err error
+		roles, err = cluster.ParseSplit(*rolesFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*replicas = len(roles)
 	}
 
 	var setup experiments.ModelSetup
@@ -70,8 +86,8 @@ func main() {
 	fmt.Printf("trace: %d requests, %.2f rps, mean prompt %.0f, mean output %.0f\n",
 		st.Requests, st.MeanRPS, st.MeanPrompt, st.MeanOutput)
 
-	if *replicas > 1 {
-		runCluster(experiments.SystemKind(*system), setup, *replicas, *router, *seed, reqs)
+	if *replicas > 1 || len(roles) > 0 {
+		runCluster(experiments.SystemKind(*system), setup, *replicas, roles, *router, *seed, reqs)
 		return
 	}
 
@@ -95,8 +111,14 @@ func main() {
 	fmt.Printf("simulated: %.1fs over %d iterations\n", res.EndTime, res.Iterations)
 }
 
-func runCluster(kind experiments.SystemKind, setup experiments.ModelSetup, n int, router string, seed uint64, reqs []*request.Request) {
-	cl, err := experiments.BuildCluster(kind, setup, n, router, experiments.BuildOptions{Seed: seed})
+func runCluster(kind experiments.SystemKind, setup experiments.ModelSetup, n int, roles []cluster.Role, router string, seed uint64, reqs []*request.Request) {
+	var cl *cluster.Cluster
+	var err error
+	if len(roles) > 0 {
+		cl, err = experiments.BuildDisagg(kind, setup, roles, router, experiments.BuildOptions{Seed: seed})
+	} else {
+		cl, err = experiments.BuildCluster(kind, setup, n, router, experiments.BuildOptions{Seed: seed})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,9 +129,30 @@ func runCluster(kind experiments.SystemKind, setup experiments.ModelSetup, n int
 	s := res.Summary
 	fmt.Println()
 	fmt.Println(s)
-	fmt.Printf("\ncluster: attainment %.1f%% | goodput %.1f tok/s | request imbalance %.2f\n",
-		100*s.Attainment(), s.Goodput(), s.RequestImbalance())
+	fmt.Printf("\ncluster: attainment %.1f%% | TTFT attainment %.1f%% | goodput %.1f tok/s | request imbalance %.2f\n",
+		100*s.Attainment(), 100*s.TTFTAttainment(), s.Goodput(), s.RequestImbalance())
 	fmt.Printf("throughput %.1f tok/s | mean TTFT %.2fs | p50 TPOT %.1fms | p99 TPOT %.1fms\n",
 		s.Aggregate.Throughput, s.Aggregate.MeanTTFT, 1e3*s.Aggregate.P50TPOT(), 1e3*s.Aggregate.P99TPOT())
+	for _, rs := range s.Roles {
+		if rs.Role == "mixed" && s.Transfer.Count == 0 {
+			continue
+		}
+		fmt.Printf("role %-8s x%d: %s, %s\n", rs.Role, rs.Replicas,
+			stageStat(rs.PrefillRequests, "prefills", "TTFT attain", rs.TTFTAttainment()),
+			stageStat(rs.DecodeRequests, "decodes", "TPOT attain", rs.TPOTAttainment()))
+	}
+	if s.Transfer.Count > 0 {
+		fmt.Printf("KV transfers: %d over %s, %.1f GB total, mean %.1f ms\n",
+			s.Transfer.Count, experiments.DisaggLink.Name, s.Transfer.Bytes/1e9, 1e3*s.Transfer.MeanLatency())
+	}
 	fmt.Printf("simulated: %.1fs over %d iterations across %d replicas\n", res.EndTime, res.Iterations, n)
+}
+
+// stageStat renders one stage of a role row, eliding the attainment of a
+// stage the role never served (an empty denominator is not a 0% failure).
+func stageStat(n int, noun, metric string, attain float64) string {
+	if n == 0 {
+		return fmt.Sprintf("%4d %s", n, noun)
+	}
+	return fmt.Sprintf("%4d %s (%s %.1f%%)", n, noun, metric, 100*attain)
 }

@@ -12,30 +12,153 @@
 // production router in front of independently batching replicas would have.
 // All tie-breaking is by lowest replica index, so runs are deterministic
 // under a fixed seed.
+//
+// Replicas optionally carry a role. A colocated cluster (every replica
+// RoleMixed) serves each request start-to-finish where it was routed. A
+// disaggregated cluster splits the fleet into prefill and decode instances:
+// arrivals are dispatched among prefill-capable replicas, and when a
+// request's prompt completes on a RolePrefill replica the driver migrates it
+// — pricing the prompt-KV handoff with a gpu.KVTransfer model — to a
+// decode-capable replica chosen by the router. The transfer latency lands on
+// the request's clock between prefill completion and decode eligibility,
+// exactly where a real disaggregated deployment pays it (inside TTFT, ahead
+// of the first decode token). Migrations are processed interleaved with
+// arrivals in global (time, request ID) order, under the same
+// boundary-visibility rule.
 package cluster
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
+	"adaserve/internal/gpu"
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
 )
+
+// Role restricts which lifecycle stage a replica serves.
+type Role int
+
+const (
+	// RoleMixed serves requests start to finish (colocated).
+	RoleMixed Role = iota
+	// RolePrefill serves only prompt processing; completed prefills migrate
+	// to a decode-capable replica.
+	RolePrefill
+	// RoleDecode serves only decoding of migrated, prefill-complete
+	// requests.
+	RoleDecode
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleMixed:
+		return "mixed"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Mode returns the sched admission mode matching the role, for building
+// role-restricted replicas.
+func (r Role) Mode() sched.Mode {
+	switch r {
+	case RolePrefill:
+		return sched.ModePrefill
+	case RoleDecode:
+		return sched.ModeDecode
+	default:
+		return sched.ModeMixed
+	}
+}
+
+// ParseSplit parses a role-split spec like "2P2D" (two prefill plus two
+// decode replicas) into the per-replica role list, prefill replicas first.
+// "colocated" or "mixed" followed by a count ("mixed4") yields an all-mixed
+// cluster of that size.
+func ParseSplit(spec string) ([]Role, error) {
+	s := strings.ToUpper(strings.TrimSpace(spec))
+	if rest, ok := strings.CutPrefix(s, "MIXED"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cluster: bad mixed split %q (want e.g. mixed4)", spec)
+		}
+		return make([]Role, n), nil
+	}
+	p := strings.IndexByte(s, 'P')
+	d := strings.IndexByte(s, 'D')
+	if p < 1 || d != len(s)-1 || d <= p {
+		return nil, fmt.Errorf("cluster: bad role split %q (want e.g. 2P2D or mixed4)", spec)
+	}
+	np, err1 := strconv.Atoi(s[:p])
+	nd, err2 := strconv.Atoi(s[p+1 : d])
+	if err1 != nil || err2 != nil || np < 1 || nd < 1 {
+		return nil, fmt.Errorf("cluster: bad role split %q (want e.g. 2P2D)", spec)
+	}
+	roles := make([]Role, 0, np+nd)
+	for i := 0; i < np; i++ {
+		roles = append(roles, RolePrefill)
+	}
+	for i := 0; i < nd; i++ {
+		roles = append(roles, RoleDecode)
+	}
+	return roles, nil
+}
+
+// SplitName renders a role list in ParseSplit's notation ("2P2D",
+// "colocated" when every replica is mixed).
+func SplitName(roles []Role) string {
+	np, nd, nm := 0, 0, 0
+	for _, r := range roles {
+		switch r {
+		case RolePrefill:
+			np++
+		case RoleDecode:
+			nd++
+		default:
+			nm++
+		}
+	}
+	if np == 0 && nd == 0 {
+		return "colocated"
+	}
+	name := fmt.Sprintf("%dP%dD", np, nd)
+	if nm > 0 {
+		name += fmt.Sprintf("+%dM", nm)
+	}
+	return name
+}
 
 // Replica is one serving instance inside a cluster: a sched.System plus the
 // per-replica simulation state (local clock, iteration accounting, and the
 // requests routed to it).
 type Replica struct {
 	id         int
+	role       Role
 	sys        sched.System
 	clock      float64
 	iterations int
 	breakdown  metrics.Breakdown
-	routed     []*request.Request
+	// routed holds arrivals dispatched here (the prefill stage for
+	// role-restricted clusters); migrated holds requests delivered by
+	// prefill-to-decode migration.
+	routed   []*request.Request
+	migrated []*request.Request
 }
 
 // ID returns the replica's index within the cluster.
 func (rep *Replica) ID() int { return rep.id }
+
+// Role returns the replica's serving role.
+func (rep *Replica) Role() Role { return rep.role }
 
 // System returns the wrapped serving system.
 func (rep *Replica) System() sched.System { return rep.sys }
@@ -44,8 +167,28 @@ func (rep *Replica) System() sched.System { return rep.sys }
 // executed iteration (or the last arrival it received while idle).
 func (rep *Replica) Clock() float64 { return rep.clock }
 
-// Routed returns the number of requests routed to this replica so far.
+// Routed returns the number of arrivals routed to this replica so far.
 func (rep *Replica) Routed() int { return len(rep.routed) }
+
+// Migrated returns the number of requests migrated to this replica so far.
+func (rep *Replica) Migrated() int { return len(rep.migrated) }
+
+// served are the requests whose final stage ran (or will run) on this
+// replica: migrations for a decode replica, arrivals for a colocated one —
+// and both for a mixed replica inside a hybrid fleet, which decodes its own
+// arrivals plus any migrations delivered to it.
+func (rep *Replica) served() []*request.Request {
+	switch {
+	case rep.role == RoleDecode:
+		return rep.migrated
+	case len(rep.migrated) == 0:
+		return rep.routed
+	default:
+		out := make([]*request.Request, 0, len(rep.routed)+len(rep.migrated))
+		out = append(out, rep.routed...)
+		return append(out, rep.migrated...)
+	}
+}
 
 // hasWork reports whether the replica has waiting or running requests.
 func (rep *Replica) hasWork() bool {
@@ -78,6 +221,22 @@ func (rep *Replica) QueuedTokens() int {
 	return n
 }
 
+// QueuedPrefillTokens returns the replica's outstanding prompt tokens: the
+// backlog a prefill-role replica must chew through before newly routed
+// prompts start, and therefore the dispatch signal role-aware routers
+// balance prefill traffic on.
+func (rep *Replica) QueuedPrefillTokens() int {
+	p := rep.sys.Pool()
+	n := 0
+	for _, r := range p.Waiting() {
+		n += r.RemainingPrefill()
+	}
+	for _, r := range p.Running() {
+		n += r.RemainingPrefill()
+	}
+	return n
+}
+
 // ActiveRequests counts the replica's resident (waiting or running,
 // unfinished) requests split into latency-critical (TPOT SLO <= cutoff) and
 // batch-tolerant shares. Headcount — not queued tokens — is the contention
@@ -106,27 +265,83 @@ func (rep *Replica) ActiveRequests(cutoff float64) (tight, relaxed int) {
 	return tight, relaxed
 }
 
+// migration is one in-flight prefill-to-decode KV handoff: the request
+// becomes runnable on target once target's clock reaches ready.
+type migration struct {
+	req    *request.Request
+	target *Replica
+	ready  float64
+}
+
 // Cluster is a set of replicas behind a router. Like a sched.System, a
 // Cluster is single-use: build a fresh one per run.
 type Cluster struct {
 	replicas []*Replica
 	router   Router
+	transfer gpu.KVTransfer
+	disagg   bool
+
+	// prefillCap and decodeCap are the role-filtered candidate sets handed
+	// to the router (== replicas for a colocated cluster).
+	prefillCap []*Replica
+	decodeCap  []*Replica
+
+	// pending holds in-flight migrations sorted by (ready, request ID).
+	pending []migration
+	stats   metrics.TransferStats
 }
 
-// New builds a cluster from ready-to-run serving systems and a router.
+// New builds a colocated cluster (every replica RoleMixed) from
+// ready-to-run serving systems and a router.
 func New(systems []sched.System, router Router) (*Cluster, error) {
+	return NewWithRoles(systems, nil, router, gpu.KVTransfer{})
+}
+
+// NewWithRoles builds a cluster with explicit per-replica roles. roles nil
+// means all-mixed (colocated). When any replica is RolePrefill the transfer
+// model prices the prefill-to-decode handoff and must validate; a
+// disaggregated cluster additionally needs at least one prefill-capable and
+// one decode-capable replica.
+func NewWithRoles(systems []sched.System, roles []Role, router Router, transfer gpu.KVTransfer) (*Cluster, error) {
 	if len(systems) == 0 {
 		return nil, fmt.Errorf("cluster: no replicas")
 	}
 	if router == nil {
 		return nil, fmt.Errorf("cluster: router required")
 	}
-	c := &Cluster{router: router}
+	if roles == nil {
+		roles = make([]Role, len(systems))
+	}
+	if len(roles) != len(systems) {
+		return nil, fmt.Errorf("cluster: %d roles for %d replicas", len(roles), len(systems))
+	}
+	c := &Cluster{router: router, transfer: transfer}
 	for i, sys := range systems {
 		if sys == nil {
 			return nil, fmt.Errorf("cluster: replica %d is nil", i)
 		}
-		c.replicas = append(c.replicas, &Replica{id: i, sys: sys})
+		rep := &Replica{id: i, role: roles[i], sys: sys}
+		c.replicas = append(c.replicas, rep)
+		if roles[i] != RoleDecode {
+			c.prefillCap = append(c.prefillCap, rep)
+		}
+		if roles[i] != RolePrefill {
+			c.decodeCap = append(c.decodeCap, rep)
+		}
+		if roles[i] == RolePrefill {
+			c.disagg = true
+		}
+	}
+	if len(c.prefillCap) == 0 {
+		return nil, fmt.Errorf("cluster: no prefill-capable replica")
+	}
+	if len(c.decodeCap) == 0 {
+		return nil, fmt.Errorf("cluster: no decode-capable replica")
+	}
+	if c.disagg {
+		if err := transfer.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: KV-transfer model: %w", err)
+		}
 	}
 	return c, nil
 }
@@ -137,9 +352,22 @@ func (c *Cluster) Replicas() []*Replica { return c.replicas }
 // Size returns the number of replicas.
 func (c *Cluster) Size() int { return len(c.replicas) }
 
+// Roles returns the per-replica roles in ID order.
+func (c *Cluster) Roles() []Role {
+	roles := make([]Role, len(c.replicas))
+	for i, rep := range c.replicas {
+		roles[i] = rep.role
+	}
+	return roles
+}
+
 // Name identifies the cluster configuration in reports.
 func (c *Cluster) Name() string {
-	return fmt.Sprintf("%s x%d [%s]", c.replicas[0].sys.Name(), len(c.replicas), c.router.Name())
+	base := fmt.Sprintf("%s x%d [%s]", c.replicas[0].sys.Name(), len(c.replicas), c.router.Name())
+	if split := SplitName(c.Roles()); split != "colocated" {
+		base += " " + split
+	}
+	return base
 }
 
 // Options bounds a cluster run.
@@ -153,8 +381,11 @@ type Options struct {
 
 // ReplicaResult reports one replica's share of a completed run.
 type ReplicaResult struct {
-	// Summary covers the requests routed to this replica.
+	// Summary covers the requests this replica served: arrivals routed to
+	// it, or — for a decode-role replica — the requests migrated to it.
 	Summary *metrics.Summary
+	// Role is the replica's serving role.
+	Role Role
 	// Iterations is the replica's scheduling-iteration count.
 	Iterations int
 	// EndTime is the replica's final local clock.
@@ -174,9 +405,63 @@ type Result struct {
 	EndTime float64
 }
 
+// harvest migrates prefill-complete requests off a prefill-role replica:
+// every running request that flipped to the Decoding phase during the last
+// iteration leaves the replica (KV freed at the source), is priced through
+// the transfer model, and is dispatched to a decode-capable replica by the
+// router. The request rides in flight until the target's clock reaches the
+// ready instant. Pool order makes the migration order deterministic.
+func (c *Cluster) harvest(rep *Replica) error {
+	if rep.role != RolePrefill {
+		return nil
+	}
+	var done []*request.Request
+	for _, r := range rep.sys.Pool().Running() {
+		if r.Phase == request.Decoding {
+			done = append(done, r)
+		}
+	}
+	for _, r := range done {
+		rep.sys.Pool().Remove(r)
+		rep.sys.Release(r)
+		idx := c.router.RouteDecode(r, c.decodeCap)
+		if idx < 0 || idx >= len(c.decodeCap) {
+			return fmt.Errorf("cluster: router %s picked replica %d of %d decode candidates",
+				c.router.Name(), idx, len(c.decodeCap))
+		}
+		lat := c.transfer.Latency(r.PromptLen)
+		c.stats.Count++
+		c.stats.Bytes += c.transfer.Bytes(r.PromptLen)
+		c.stats.Time += lat
+		r.Phase = request.Preempted // re-enqueues as resumable, skipping prefill
+		m := migration{req: r, target: c.decodeCap[idx], ready: rep.clock + lat}
+		at := sort.Search(len(c.pending), func(i int) bool {
+			p := c.pending[i]
+			return p.ready > m.ready || (p.ready == m.ready && p.req.ID > m.req.ID)
+		})
+		c.pending = append(c.pending, migration{})
+		copy(c.pending[at+1:], c.pending[at:])
+		c.pending[at] = m
+	}
+	return nil
+}
+
+// deliver lands an arrived migration on its decode replica, bumping an idle
+// target's clock to the transfer-completion instant.
+func (c *Cluster) deliver(m migration) {
+	if m.target.clock < m.ready {
+		m.target.clock = m.ready
+	}
+	m.target.sys.Pool().Enqueue(m.req)
+	m.target.migrated = append(m.target.migrated, m.req)
+}
+
 // Run drives the cluster over the request trace until every request is done.
-// Arrivals are routed in (arrival time, ID) order; each routed request is
-// enqueued on exactly one replica and stays there (no migration).
+// Arrivals are routed in (arrival time, ID) order among prefill-capable
+// replicas; migrations are delivered interleaved with arrivals in event-time
+// order (migrations before arrivals only when strictly earlier). Each routed
+// request stays on its replica except for the single prefill-to-decode
+// migration of a disaggregated cluster.
 func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 	if opts.MaxSimTime == 0 {
 		opts.MaxSimTime = 24 * 3600
@@ -193,23 +478,38 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 	next := 0
 	for {
 		// The next replica to act is the busy one with the smallest clock
-		// (lowest ID on ties). Arrivals at or before that clock are routed
-		// first, so every routing decision sees all replicas advanced past
-		// the arrival instant.
+		// (lowest ID on ties). Events — trace arrivals and migration
+		// completions — at or before that clock are processed first, so
+		// every routing decision sees all replicas advanced past the event
+		// instant.
 		busy := -1
 		for i, rep := range c.replicas {
 			if rep.hasWork() && (busy < 0 || rep.clock < c.replicas[busy].clock) {
 				busy = i
 			}
 		}
-		if next < len(ordered) && (busy < 0 || ordered[next].ArrivalTime <= c.replicas[busy].clock) {
-			r := ordered[next]
-			idx := c.router.Route(r, c.replicas)
-			if idx < 0 || idx >= len(c.replicas) {
-				return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
-					c.router.Name(), idx, len(c.replicas))
+		evTime := 0.0
+		evMigration := false
+		evReady := false
+		if next < len(ordered) {
+			evTime, evReady = ordered[next].ArrivalTime, true
+		}
+		if len(c.pending) > 0 && (!evReady || c.pending[0].ready < evTime) {
+			evTime, evMigration, evReady = c.pending[0].ready, true, true
+		}
+		if evReady && (busy < 0 || evTime <= c.replicas[busy].clock) {
+			if evMigration {
+				c.deliver(c.pending[0])
+				c.pending = c.pending[1:]
+				continue
 			}
-			rep := c.replicas[idx]
+			r := ordered[next]
+			idx := c.router.Route(r, c.prefillCap)
+			if idx < 0 || idx >= len(c.prefillCap) {
+				return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
+					c.router.Name(), idx, len(c.prefillCap))
+			}
+			rep := c.prefillCap[idx]
 			if rep.clock < r.ArrivalTime {
 				rep.clock = r.ArrivalTime
 			}
@@ -219,22 +519,29 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 			continue
 		}
 		if busy < 0 {
-			break // every request routed and retired
+			break // every request routed, delivered and retired
 		}
 		rep := c.replicas[busy]
 		st := rep.sys.Iterate(rep.clock)
 		if st.Idle {
 			// The Iterate call may have just retired the replica's final
 			// requests; the top of the loop re-checks emptiness. A replica
-			// stuck with unrunnable work parks at the next arrival (which
-			// may or may not be routed to it); with no arrivals left it can
-			// never progress: a genuine deadlock.
+			// stuck with unrunnable work parks at the next event (which may
+			// or may not concern it); with no events left it can never
+			// progress: a genuine deadlock.
 			if !rep.hasWork() {
 				continue
 			}
+			parkAt := -1.0
 			if next < len(ordered) {
-				if t := ordered[next].ArrivalTime; rep.clock < t {
-					rep.clock = t
+				parkAt = ordered[next].ArrivalTime
+			}
+			if len(c.pending) > 0 && (parkAt < 0 || c.pending[0].ready < parkAt) {
+				parkAt = c.pending[0].ready
+			}
+			if parkAt >= 0 {
+				if rep.clock < parkAt {
+					rep.clock = parkAt
 				}
 				continue
 			}
@@ -253,6 +560,9 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 		rep.breakdown.Speculation += st.SpecTime
 		rep.breakdown.Verification += st.VerifyTime
 		rep.breakdown.Prefill += st.PrefillTime
+		if err := c.harvest(rep); err != nil {
+			return nil, err
+		}
 		if rep.clock > opts.MaxSimTime {
 			return nil, fmt.Errorf("cluster: replica %d (%s) exceeded max simulated time %.0fs",
 				rep.id, rep.sys.Name(), opts.MaxSimTime)
@@ -266,10 +576,15 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 	var perReplica []*metrics.Summary
 	for _, rep := range c.replicas {
 		total.Add(rep.breakdown)
-		sum := metrics.Summarize(fmt.Sprintf("replica %d", rep.id), rep.routed, rep.breakdown)
+		name := fmt.Sprintf("replica %d", rep.id)
+		if rep.role != RoleMixed {
+			name = fmt.Sprintf("replica %d (%s)", rep.id, rep.role)
+		}
+		sum := metrics.Summarize(name, rep.served(), rep.breakdown)
 		perReplica = append(perReplica, sum)
 		res.PerReplica = append(res.PerReplica, ReplicaResult{
 			Summary:    sum,
+			Role:       rep.role,
 			Iterations: rep.iterations,
 			EndTime:    rep.clock,
 		})
@@ -280,6 +595,44 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 	res.Summary = &metrics.ClusterSummary{
 		Aggregate: metrics.Summarize(c.Name(), reqs, total),
 		Replicas:  perReplica,
+		Roles:     c.roleStats(),
+		Transfer:  c.stats,
 	}
 	return res, nil
+}
+
+// roleStats aggregates TTFT/TPOT attainment by replica role: TTFT over the
+// requests a role prefilled, TPOT over the requests it decoded (a mixed
+// replica owns both stages of its routed requests).
+func (c *Cluster) roleStats() []metrics.RoleStats {
+	var out []metrics.RoleStats
+	for _, role := range []Role{RolePrefill, RoleDecode, RoleMixed} {
+		rs := metrics.RoleStats{Role: role.String()}
+		for _, rep := range c.replicas {
+			if rep.role != role {
+				continue
+			}
+			rs.Replicas++
+			if role != RoleDecode {
+				rs.PrefillRequests += len(rep.routed)
+				for _, r := range rep.routed {
+					if r.AttainedTTFT() {
+						rs.TTFTAttained++
+					}
+				}
+			}
+			if role != RolePrefill {
+				for _, r := range rep.served() {
+					rs.DecodeRequests++
+					if r.AttainedSLO() {
+						rs.TPOTAttained++
+					}
+				}
+			}
+		}
+		if rs.Replicas > 0 {
+			out = append(out, rs)
+		}
+	}
+	return out
 }

@@ -22,8 +22,9 @@ func newFake(name string) *fakeSystem {
 	return &fakeSystem{name: name, pool: request.NewPool()}
 }
 
-func (f *fakeSystem) Name() string        { return f.name }
-func (f *fakeSystem) Pool() *request.Pool { return f.pool }
+func (f *fakeSystem) Name() string             { return f.name }
+func (f *fakeSystem) Pool() *request.Pool      { return f.pool }
+func (f *fakeSystem) Release(*request.Request) {}
 
 func (f *fakeSystem) Iterate(now float64) sched.IterationStats {
 	for _, r := range append([]*request.Request(nil), f.pool.Waiting()...) {
@@ -138,8 +139,9 @@ func TestRunPerReplicaClocksAdvanceIndependently(t *testing.T) {
 // routeTo is a test router that sends everything to one replica.
 type routeTo int
 
-func (routeTo) Name() string                              { return "route-to" }
-func (rt routeTo) Route(*request.Request, []*Replica) int { return int(rt) }
+func (routeTo) Name() string                                    { return "route-to" }
+func (rt routeTo) Route(*request.Request, []*Replica) int       { return int(rt) }
+func (rt routeTo) RouteDecode(*request.Request, []*Replica) int { return int(rt) }
 
 func TestRunHandlesArrivalGaps(t *testing.T) {
 	c := fakeCluster(t, 2, LeastLoaded{})

@@ -6,22 +6,46 @@ import (
 	"adaserve/internal/request"
 )
 
-// Router assigns each arriving request to a replica. Implementations must
-// be deterministic: identical replica and router state must yield the same
-// pick (ties break by lowest index or by an explicit rotating cursor,
-// never by map order or randomness). Routers may keep internal state; a
-// Router instance belongs to one Cluster.
+// Router assigns requests to replicas. The cluster driver calls Route for
+// every trace arrival with the prefill-capable candidate set (all replicas
+// in a colocated cluster), and RouteDecode for every prefill-to-decode
+// migration with the decode-capable set. The returned index refers to the
+// candidate slice it was given.
+//
+// Implementations must be deterministic: identical replica and router state
+// must yield the same pick (ties break by lowest index or by an explicit
+// rotating cursor, never by map order or randomness). Routers may keep
+// internal state; a Router instance belongs to one Cluster.
 type Router interface {
 	// Name identifies the policy in reports (e.g. "slo-aware").
 	Name() string
-	// Route returns the index of the replica that receives r.
+	// Route returns the index of the candidate replica that receives the
+	// arrival r.
 	Route(r *request.Request, replicas []*Replica) int
+	// RouteDecode returns the index of the candidate replica that receives
+	// the migrating, prefill-complete request r.
+	RouteDecode(r *request.Request, replicas []*Replica) int
+}
+
+// prefillDispatch reports whether an arrival candidate set should be
+// balanced on prompt backlog: true as soon as any candidate is a dedicated
+// prefill replica (candidate sets are homogeneous in practice — all mixed or
+// all prefill — since the driver filters by role).
+func prefillDispatch(replicas []*Replica) bool {
+	for _, rep := range replicas {
+		if rep.Role() == RolePrefill {
+			return true
+		}
+	}
+	return false
 }
 
 // RoundRobin cycles through replicas in index order, ignoring load — the
-// baseline policy every load balancer implements.
+// baseline policy every load balancer implements. Arrival and migration
+// dispatch rotate independently.
 type RoundRobin struct {
-	next int
+	next       int
+	nextDecode int
 }
 
 // NewRoundRobin returns a round-robin router starting at replica 0.
@@ -37,9 +61,19 @@ func (rr *RoundRobin) Route(_ *request.Request, replicas []*Replica) int {
 	return i
 }
 
-// LeastLoaded routes every request to the replica with the fewest queued
-// tokens (outstanding prefill + ungenerated output), which corrects the
-// load imbalance round-robin accumulates under heterogeneous request sizes.
+// RouteDecode implements Router.
+func (rr *RoundRobin) RouteDecode(_ *request.Request, replicas []*Replica) int {
+	i := rr.nextDecode % len(replicas)
+	rr.nextDecode = (rr.nextDecode + 1) % len(replicas)
+	return i
+}
+
+// LeastLoaded routes every request to the replica with the least queued
+// work, which corrects the load imbalance round-robin accumulates under
+// heterogeneous request sizes. Arrivals dispatched among dedicated prefill
+// replicas balance on queued prompt tokens (the only work such a replica
+// does); otherwise — and for every migration — the signal is total queued
+// tokens (outstanding prefill + ungenerated output).
 type LeastLoaded struct{}
 
 // Name implements Router.
@@ -47,6 +81,21 @@ func (LeastLoaded) Name() string { return "least-loaded" }
 
 // Route implements Router.
 func (LeastLoaded) Route(_ *request.Request, replicas []*Replica) int {
+	load := (*Replica).QueuedTokens
+	if prefillDispatch(replicas) {
+		load = (*Replica).QueuedPrefillTokens
+	}
+	best, bestTokens := 0, load(replicas[0])
+	for i, rep := range replicas[1:] {
+		if t := load(rep); t < bestTokens {
+			best, bestTokens = i+1, t
+		}
+	}
+	return best
+}
+
+// RouteDecode implements Router.
+func (LeastLoaded) RouteDecode(_ *request.Request, replicas []*Replica) int {
 	best, bestTokens := 0, replicas[0].QueuedTokens()
 	for i, rep := range replicas[1:] {
 		if t := rep.QueuedTokens(); t < bestTokens {
@@ -88,6 +137,13 @@ const DefaultTightSLO = 0.100
 // the relaxed SLOs absorb the co-batching. A headcount cap
 // (ConsolidateFactor × the cluster-mean residency) bounds the sacrifice;
 // past it, relaxed work spreads again.
+//
+// Role-awareness: in a disaggregated cluster the per-class residency logic
+// owns decode dispatch (migrations), exactly as it owns placement in a
+// colocated cluster — residency is a decode-budget signal. Arrival dispatch
+// among dedicated prefill replicas instead balances queued prompt tokens
+// (prefill is a throughput stage; TTFT is served by draining the shortest
+// prompt backlog), with the rotating-cursor tie-break.
 type SLOAware struct {
 	// TightSLO overrides the latency-critical cutoff (0: DefaultTightSLO).
 	TightSLO float64
@@ -100,7 +156,7 @@ type SLOAware struct {
 	// (0: DefaultPressureThreshold).
 	PressureThreshold float64
 
-	tightCursor, relaxedCursor int
+	tightCursor, relaxedCursor, prefillCursor int
 }
 
 // DefaultConsolidateFactor is the relaxed-consolidation headroom: a replica
@@ -125,6 +181,20 @@ type residency struct {
 
 // Route implements Router.
 func (s *SLOAware) Route(r *request.Request, replicas []*Replica) int {
+	if prefillDispatch(replicas) {
+		return s.routePrefill(replicas)
+	}
+	return s.routeByResidency(r, replicas)
+}
+
+// RouteDecode implements Router.
+func (s *SLOAware) RouteDecode(r *request.Request, replicas []*Replica) int {
+	return s.routeByResidency(r, replicas)
+}
+
+// routeByResidency is the per-class residency policy shared by colocated
+// arrival dispatch and disaggregated decode dispatch.
+func (s *SLOAware) routeByResidency(r *request.Request, replicas []*Replica) int {
 	cutoff := s.TightSLO
 	if cutoff <= 0 {
 		cutoff = DefaultTightSLO
@@ -141,6 +211,21 @@ func (s *SLOAware) Route(r *request.Request, replicas []*Replica) int {
 		return s.routeTight(res, island)
 	}
 	return s.routeRelaxed(res, island)
+}
+
+// routePrefill balances arrivals over dedicated prefill replicas by queued
+// prompt tokens, rotating the tie-break cursor so equally idle replicas
+// share cold starts.
+func (s *SLOAware) routePrefill(replicas []*Replica) int {
+	best, bestLoad := -1, 0
+	for off := 0; off < len(replicas); off++ {
+		i := (s.prefillCursor + off) % len(replicas)
+		if load := replicas[i].QueuedPrefillTokens(); best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	s.prefillCursor = (best + 1) % len(replicas)
+	return best
 }
 
 // island selects the sacrificial replica that absorbs batch-tolerant work

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"adaserve/internal/cluster"
+	"adaserve/internal/request"
+	"adaserve/internal/workload"
+)
+
+// TestDisaggEndToEnd runs a real (engine-backed) disaggregated cluster over
+// a short trace and checks the migration pipeline end to end: every request
+// finishes, every request migrates exactly once, prefill replicas never
+// decode, and the transfer accounting matches the trace's prompt volume.
+func TestDisaggEndToEnd(t *testing.T) {
+	setup := Llama70B()
+	reqs, err := mixedTrace(setup, workload.DefaultMix, 1.0, 8, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles, err := cluster.ParseSplit("1P1D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := BuildDisagg(SysAdaServe, setup, roles, "least-loaded", BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := request.CloneAll(reqs)
+	res, err := cl.Run(run, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Aggregate.Finished != len(run) {
+		t.Fatalf("finished %d of %d", res.Summary.Aggregate.Finished, len(run))
+	}
+	if res.Summary.Transfer.Count != len(run) {
+		t.Fatalf("%d transfers for %d requests", res.Summary.Transfer.Count, len(run))
+	}
+	var promptBytes float64
+	for _, r := range run {
+		promptBytes += setup.Target.KVBytesPerToken() * float64(r.PromptLen)
+	}
+	if res.Summary.Transfer.Bytes != promptBytes {
+		t.Fatalf("transfer bytes %.0f, want %.0f (prompt KV volume)", res.Summary.Transfer.Bytes, promptBytes)
+	}
+	reps := cl.Replicas()
+	if reps[0].Migrated() != 0 || reps[1].Routed() != 0 {
+		t.Fatal("role filtering violated: arrivals on decode replica or migrations on prefill replica")
+	}
+	// The prefill replica must have spent zero GPU time in decode/verify.
+	pre := res.PerReplica[0].Summary.Breakdown
+	if pre.Verification != 0 || pre.Speculation != 0 {
+		t.Fatalf("prefill replica spent decode time: %+v", pre)
+	}
+	if pre.Prefill <= 0 {
+		t.Fatal("prefill replica did no prefill work")
+	}
+	dec := res.PerReplica[1].Summary.Breakdown
+	if dec.Prefill != 0 {
+		t.Fatalf("decode replica spent prefill time: %+v", dec)
+	}
+}
+
+// TestDisaggDeterministicAcrossParallel is the acceptance guarantee for the
+// disagg experiment: the grid run with 1 worker and with 8 workers produces
+// identical, identically-ordered results.
+func TestDisaggDeterministicAcrossParallel(t *testing.T) {
+	setup := Llama70B()
+	opts := RunOptions{Seed: 1, Duration: 6, Parallel: 1}
+	seq, err := Disaggregation(setup, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 8
+	par, err := Disaggregation(setup, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("point count differs: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Split != par[i].Split || seq[i].Router != par[i].Router || seq[i].Mix != par[i].Mix {
+			t.Fatalf("point %d coordinates differ: %+v vs %+v", i, seq[i], par[i])
+		}
+		if !reflect.DeepEqual(seq[i].Sum, par[i].Sum) {
+			t.Fatalf("point %d (%s/%s/%s) differs between -parallel 1 and 8",
+				i, seq[i].Split, seq[i].Router, seq[i].Mix)
+		}
+	}
+}
+
+// TestDisaggSplitBeatsColocatedTTFT pins the experiment's headline: at equal
+// aggregate load, at least one prefill/decode split beats the colocated
+// 4-replica fleet on TTFT attainment (dedicated prefill replicas serve
+// prompts monolithically instead of drip-feeding chunks between decode
+// iterations).
+func TestDisaggSplitBeatsColocatedTTFT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell cluster grid")
+	}
+	setup := Llama70B()
+	pts, err := Disaggregation(setup, RunOptions{Seed: 1, Duration: 30, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colocated := map[string]float64{} // router -> TTFT attainment on the default mix
+	bestSplit := map[string]float64{}
+	for _, p := range pts {
+		if p.Mix != "default" {
+			continue
+		}
+		ttft := p.Sum.TTFTAttainment()
+		if p.Split == "colocated" {
+			colocated[p.Router] = ttft
+		} else if ttft > bestSplit[p.Router] {
+			bestSplit[p.Router] = ttft
+		}
+	}
+	won := false
+	for router, base := range colocated {
+		if bestSplit[router] > base {
+			won = true
+		}
+	}
+	if !won {
+		t.Fatalf("no P/D split beat colocated on TTFT attainment: colocated %v vs best split %v",
+			colocated, bestSplit)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the committed fixtures instead of comparing:
+//
+//	go test ./internal/experiments -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures instead of comparing")
+
+// goldenRow is one grid cell of the golden bench run, reduced to the
+// metrics the paper reports. Every field is a pure function of the fixed
+// seed, so the marshaled fixture is byte-stable across runs, platforms and
+// worker counts.
+type goldenRow struct {
+	Experiment string  `json:"experiment"`
+	System     string  `json:"system,omitempty"`
+	Split      string  `json:"split,omitempty"`
+	Router     string  `json:"router,omitempty"`
+	Mix        string  `json:"mix,omitempty"`
+	X          float64 `json:"x,omitempty"`
+
+	Requests       int     `json:"requests"`
+	Finished       int     `json:"finished"`
+	Attainment     float64 `json:"attainment"`
+	TTFTAttainment float64 `json:"ttftAttainment"`
+	Goodput        float64 `json:"goodput"`
+	Throughput     float64 `json:"throughput"`
+	MeanAccepted   float64 `json:"meanAccepted"`
+	P99TPOT        float64 `json:"p99TPOT"`
+
+	TransferCount  int     `json:"transferCount,omitempty"`
+	TransferSec    float64 `json:"transferSec,omitempty"`
+	TransferBytes  float64 `json:"transferBytes,omitempty"`
+	PrefillTTFTAtt float64 `json:"prefillTTFTAtt,omitempty"`
+	DecodeTPOTAtt  float64 `json:"decodeTPOTAtt,omitempty"`
+}
+
+// goldenOpts is the tiny fixed-seed grid: short enough for CI, long enough
+// that every subsystem (speculation, selection, verification, routing,
+// migration) executes thousands of times.
+func goldenOpts() RunOptions {
+	return RunOptions{
+		Seed:     1,
+		Duration: 6,
+		Systems:  []SystemKind{SysAdaServe, SysVLLMSpec6, SysVLLM},
+		Parallel: 4,
+	}
+}
+
+// goldenGrid runs the fixture grid in-process: a Figure 8/9 sweep subset
+// plus the full disaggregation experiment, both on the Llama-70B setup.
+func goldenGrid(t *testing.T) []goldenRow {
+	t.Helper()
+	setup := Llama70B()
+	var rows []goldenRow
+
+	pts, err := Figure8and9(setup, goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		s := p.Sum
+		rows = append(rows, goldenRow{
+			Experiment: "fig8-9", System: string(p.System), X: p.X,
+			Requests: s.Requests, Finished: s.Finished,
+			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
+			Goodput: s.Goodput, Throughput: s.Throughput,
+			MeanAccepted: s.MeanAcceptedPerStep, P99TPOT: s.P99TPOT(),
+		})
+	}
+
+	dpts, err := Disaggregation(setup, goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dpts {
+		s := p.Sum
+		row := goldenRow{
+			Experiment: "disagg", Split: p.Split, Router: p.Router, Mix: p.Mix,
+			Requests: s.Aggregate.Requests, Finished: s.Aggregate.Finished,
+			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
+			Goodput: s.Goodput(), Throughput: s.Aggregate.Throughput,
+			MeanAccepted: s.Aggregate.MeanAcceptedPerStep, P99TPOT: s.Aggregate.P99TPOT(),
+			TransferCount: s.Transfer.Count, TransferSec: s.Transfer.Time,
+			TransferBytes: s.Transfer.Bytes,
+		}
+		for _, rs := range s.Roles {
+			switch rs.Role {
+			case "prefill":
+				row.PrefillTTFTAtt = rs.TTFTAttainment()
+			case "decode":
+				row.DecodeTPOTAtt = rs.TPOTAttainment()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TestGoldenBenchGrid replays the fixture grid and compares the marshaled
+// result byte-for-byte against the committed fixture. Any intentional
+// behavior change must regenerate the fixture with -update and justify the
+// diff in review; any unintentional drift — a determinism break, an
+// accidental semantic change to a scheduler, router or the migration path —
+// fails here first.
+func TestGoldenBenchGrid(t *testing.T) {
+	rows := goldenGrid(t)
+	got, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden", "bench.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows)", path, len(rows))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Locate the first differing line for a readable failure.
+		gl := bytes.Split(got, []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("golden mismatch at line %d:\n got: %s\nwant: %s\n(regenerate with -update if intentional)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("golden mismatch: output has %d lines, fixture %d (regenerate with -update if intentional)",
+			len(gl), len(wl))
+	}
+}

@@ -108,6 +108,9 @@ type BuildOptions struct {
 	Rule lm.VerifyRule
 	// MaxBatch overrides the running-sequence cap (default 256).
 	MaxBatch int
+	// Mode restricts admission for role-restricted replicas in a
+	// disaggregated cluster (default sched.ModeMixed).
+	Mode sched.Mode
 	// AdaServe overrides AdaServe's options.
 	AdaServe sched.AdaServeOptions
 	// StaticController forces AdaServe to fixed (d,w) (ablation) when both
@@ -167,6 +170,7 @@ func Build(kind SystemKind, setup ModelSetup, opts BuildOptions) (sched.System, 
 		MaxBatch:         maxBatch,
 		MaxPrefillTokens: 2048,
 		SchedOverhead:    30e-6,
+		Mode:             opts.Mode,
 	}
 
 	switch kind {

@@ -16,6 +16,64 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Prefill += o.Prefill
 }
 
+// RoleStats splits a disaggregated cluster's attainment by replica role:
+// TTFT attainment over the requests whose prompt a replica of this role
+// prefilled, and TPOT attainment over the requests it decoded. In a
+// colocated cluster every replica owns both stages, so the single "mixed"
+// row carries both numbers.
+type RoleStats struct {
+	// Role is the replica role name ("prefill", "decode", "mixed").
+	Role string
+	// Replicas is how many replicas run this role.
+	Replicas int
+	// PrefillRequests counts prompts served by this role; TTFTAttained of
+	// them met their TTFT SLO.
+	PrefillRequests int
+	TTFTAttained    int
+	// DecodeRequests counts requests whose decode ran on this role;
+	// TPOTAttained of them finished within their TPOT SLO.
+	DecodeRequests int
+	TPOTAttained   int
+}
+
+// TTFTAttainment returns the role's TTFT attainment fraction.
+func (r RoleStats) TTFTAttainment() float64 {
+	if r.PrefillRequests == 0 {
+		return 0
+	}
+	return float64(r.TTFTAttained) / float64(r.PrefillRequests)
+}
+
+// TPOTAttainment returns the role's TPOT attainment fraction.
+func (r RoleStats) TPOTAttainment() float64 {
+	if r.DecodeRequests == 0 {
+		return 0
+	}
+	return float64(r.TPOTAttained) / float64(r.DecodeRequests)
+}
+
+// TransferStats aggregates the prefill-to-decode KV handoffs of a
+// disaggregated run. A colocated run has none.
+type TransferStats struct {
+	// Count is the number of migrations (one per request that prefilled on
+	// a prefill-role replica).
+	Count int
+	// Bytes is the total KV bytes moved across the interconnect.
+	Bytes float64
+	// Time is the summed transfer latency in seconds — simulated time each
+	// request spent in flight between prefill completion and decode
+	// eligibility.
+	Time float64
+}
+
+// MeanLatency returns the average per-migration transfer latency.
+func (t TransferStats) MeanLatency() float64 {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.Time / float64(t.Count)
+}
+
 // ClusterSummary aggregates a multi-replica run: the cluster-wide summary
 // over every request of the trace plus one summary per replica over the
 // requests routed to it.
@@ -26,7 +84,16 @@ type ClusterSummary struct {
 	Aggregate *Summary
 	// Replicas holds one summary per replica, in replica-ID order.
 	Replicas []*Summary
+	// Roles splits attainment by replica role, in role order
+	// prefill/decode/mixed (only roles present appear). Empty only for
+	// summaries predating role-aware runs.
+	Roles []RoleStats
+	// Transfer reports the KV-handoff overhead of a disaggregated run.
+	Transfer TransferStats
 }
+
+// TTFTAttainment returns the cluster-wide TTFT attainment fraction.
+func (c *ClusterSummary) TTFTAttainment() float64 { return c.Aggregate.TTFTAttainment() }
 
 // Attainment returns the cluster-wide SLO attainment fraction.
 func (c *ClusterSummary) Attainment() float64 { return c.Aggregate.Attainment() }

@@ -67,6 +67,10 @@ type Summary struct {
 	Requests int
 	Finished int
 	Attained int
+	// TTFTAttained counts requests that met their TTFT SLO (requests
+	// without one trivially attain, so on TPOT-only traces this equals
+	// Requests).
+	TTFTAttained int
 
 	// Duration is the wall-clock span from first arrival to last completion.
 	Duration float64
@@ -92,6 +96,14 @@ func (s *Summary) Attainment() float64 {
 		return 0
 	}
 	return float64(s.Attained) / float64(s.Requests)
+}
+
+// TTFTAttainment returns the fraction of requests meeting their TTFT SLO.
+func (s *Summary) TTFTAttainment() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TTFTAttained) / float64(s.Requests)
 }
 
 // ViolationRate returns 1 − attainment.
@@ -140,6 +152,9 @@ func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Sum
 			s.PerCategory[r.Category] = cs
 		}
 		cs.Requests++
+		if r.AttainedTTFT() {
+			s.TTFTAttained++
+		}
 		if r.Phase != request.Done {
 			cs.Violations++
 			continue

@@ -111,6 +111,25 @@ func (p *Pool) Preempt(r *Request) {
 	p.sortWaiting()
 }
 
+// Remove takes a running request out of the pool without finishing it: the
+// disaggregated cluster driver migrates prefill-complete requests to a
+// decode replica this way. Unlike Preempt it neither re-enqueues nor touches
+// the request's phase or preemption count — the caller owns the request's
+// onward lifecycle.
+func (p *Pool) Remove(r *Request) {
+	idx := -1
+	for i, q := range p.running {
+		if q == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("request: remove of %d not running", r.ID))
+	}
+	p.running = append(p.running[:idx], p.running[idx+1:]...)
+}
+
 // Finish moves completed running requests into done, returning how many
 // moved. Requests mark themselves Done in Commit.
 func (p *Pool) Finish() int {

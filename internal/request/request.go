@@ -81,6 +81,12 @@ type Request struct {
 	Category Category
 	// TPOTSLO is the per-token latency target in seconds.
 	TPOTSLO float64
+	// TTFTSLO is the time-to-first-token target in seconds; 0 means the
+	// request carries no TTFT SLO (AttainedTTFT then reports true). TTFT
+	// spans arrival to first committed token, so in a disaggregated
+	// deployment it covers prefill queueing, prefill, the KV transfer, and
+	// the first decode iteration.
+	TTFTSLO float64
 	// Priority orders requests when schedulers prioritize; lower is more
 	// urgent. Derived from the category by default.
 	Priority int
@@ -142,7 +148,9 @@ func New(id int, cat Category, slo float64, arrival float64, promptLen, maxNew i
 // same trace can be replayed through multiple configurations without
 // sharing mutable state.
 func (r *Request) Clone() *Request {
-	return New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
+	cp := New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
+	cp.TTFTSLO = r.TTFTSLO
+	return cp
 }
 
 // CloneAll clones a whole trace (see Clone).
@@ -277,6 +285,17 @@ func (r *Request) TTFT() float64 {
 		return -1
 	}
 	return r.FirstTokenTime - r.ArrivalTime
+}
+
+// AttainedTTFT reports whether the request met its TTFT SLO. Requests
+// without a TTFT SLO (TTFTSLO <= 0) trivially attain; requests that never
+// produced a token do not.
+func (r *Request) AttainedTTFT() bool {
+	if r.TTFTSLO <= 0 {
+		return true
+	}
+	t := r.TTFT()
+	return t >= 0 && t <= r.TTFTSLO
 }
 
 // ContextLen returns the KV length if all prompt and output tokens are

@@ -43,6 +43,45 @@ type System interface {
 	Pool() *request.Pool
 	// Iterate runs one iteration starting at simulated time now.
 	Iterate(now float64) IterationStats
+	// Release frees engine-side state (KV reservation) held for a request
+	// that leaves the system without finishing — the disaggregated cluster
+	// driver calls it when migrating a prefill-complete request to a decode
+	// replica. Releasing a request the system holds nothing for is a no-op.
+	Release(r *request.Request)
+}
+
+// Mode restricts which lifecycle stage a system admits and serves, so an
+// unchanged scheduler can run as a role-restricted replica in a
+// disaggregated prefill/decode cluster.
+type Mode int
+
+const (
+	// ModeMixed is the colocated default: admit everything, serve both
+	// prefill and decode.
+	ModeMixed Mode = iota
+	// ModePrefill admits only requests that still need prompt processing and
+	// reserves KV for the prompt alone (prefill-replica KV turns over at
+	// migration, so output tokens never materialize here). The cluster
+	// driver migrates requests away at the iteration boundary where their
+	// prefill completes, so decode work never accumulates.
+	ModePrefill
+	// ModeDecode admits only requests whose prompt is fully processed
+	// (migrated in with their KV), reserving full prompt+output capacity.
+	ModeDecode
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeMixed:
+		return "mixed"
+	case ModePrefill:
+		return "prefill"
+	case ModeDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
 }
 
 // Config carries the substrate shared by all systems.
@@ -56,6 +95,9 @@ type Config struct {
 	// SchedOverhead is the fixed per-iteration CPU cost in seconds,
 	// calibrated to a production scheduler's bookkeeping.
 	SchedOverhead float64
+	// Mode restricts admission for role-restricted replicas (default
+	// ModeMixed: no restriction).
+	Mode Mode
 }
 
 // Validate checks the configuration.
@@ -94,12 +136,41 @@ func newBase(cfg Config) (base, error) {
 // Pool implements System.
 func (b *base) Pool() *request.Pool { return b.pool }
 
+// Release implements System: it drops the KV reservation of a request
+// migrating away (no-op when none is held).
+func (b *base) Release(r *request.Request) {
+	if b.cfg.KV.Has(r.ID) {
+		if err := b.cfg.KV.Free(r.ID); err != nil {
+			panic(err)
+		}
+	}
+}
+
 // reserveTokens is the KV reservation for a request: the full context it can
 // ever need plus slack for in-flight speculative tokens. Reserving up front
 // keeps the simulators deterministic (no mid-decode OOM preemption paths,
-// which none of the compared policies rely on).
-func reserveTokens(r *request.Request) int {
+// which none of the compared policies rely on). A prefill-only replica
+// reserves for the prompt alone: its KV is handed off at migration, before
+// any output token exists.
+func (b *base) reserveTokens(r *request.Request) int {
+	if b.cfg.Mode == ModePrefill {
+		return r.PromptLen + 16
+	}
 	return r.PromptLen + r.MaxNewTokens + 16
+}
+
+// admits reports whether the system's mode accepts a waiting request:
+// prefill replicas take only requests with prompt work left, decode replicas
+// only prefill-complete migrants.
+func (b *base) admits(r *request.Request) bool {
+	switch b.cfg.Mode {
+	case ModePrefill:
+		return r.RemainingPrefill() > 0
+	case ModeDecode:
+		return r.RemainingPrefill() == 0
+	default:
+		return true
+	}
 }
 
 // admitFIFO admits waiting requests in FIFO order while batch and KV
@@ -119,8 +190,11 @@ func (b *base) admitOrdered(now float64, less func(a, c *request.Request) bool) 
 		if b.pool.NumRunning() >= b.cfg.MaxBatch {
 			return
 		}
+		if !b.admits(r) {
+			continue
+		}
 		if !b.cfg.KV.Has(r.ID) {
-			if err := b.cfg.KV.Allocate(r.ID, reserveTokens(r)); err != nil {
+			if err := b.cfg.KV.Allocate(r.ID, b.reserveTokens(r)); err != nil {
 				// Capacity exhausted: later arrivals cannot help (FIFO), and
 				// for ordered admission smaller requests may still fit.
 				if less == nil {

@@ -48,6 +48,10 @@ type CategorySpec struct {
 	SLOFactor float64
 	// SLOAbs, when > 0, sets an absolute TPOT SLO in seconds.
 	SLOAbs float64
+	// TTFTSLOAbs, when > 0, sets an absolute time-to-first-token SLO in
+	// seconds (arrival to first committed output token). Zero leaves the
+	// category without a TTFT SLO.
+	TTFTSLOAbs float64
 	// Prompt and Output are token-length distributions matched to the
 	// dataset's statistics.
 	Prompt LengthDist
@@ -73,23 +77,28 @@ func (c CategorySpec) TPOT(baseline float64) float64 {
 // referenced datasets (HumanEval prompts ≈ 150–450 tokens; Alpaca turns are
 // short; CNN/DailyMail articles run to a few thousand tokens), which is the
 // only property of the datasets the serving layer observes.
+//
+// TTFT SLOs follow the interactive targets multi-SLO serving work uses
+// (MLPerf-interactive-style: sub-second first token for interactive
+// categories, a few seconds for batch-style summarization whose prompts are
+// an order of magnitude longer).
 func DefaultCategories() []CategorySpec {
 	return []CategorySpec{
 		{
 			Category: request.Coding, App: "coding copilot", Dataset: "HumanEval",
-			SLOFactor: 1.2,
-			Prompt:    LengthDist{Median: 160, Sigma: 0.45, Min: 32, Max: 1024},
-			Output:    LengthDist{Median: 90, Sigma: 0.50, Min: 16, Max: 512},
+			SLOFactor: 1.2, TTFTSLOAbs: 1.0,
+			Prompt: LengthDist{Median: 160, Sigma: 0.45, Min: 32, Max: 1024},
+			Output: LengthDist{Median: 90, Sigma: 0.50, Min: 16, Max: 512},
 		},
 		{
 			Category: request.Chat, App: "chatbot", Dataset: "Alpaca",
-			SLOAbs: 0.050,
+			SLOAbs: 0.050, TTFTSLOAbs: 1.0,
 			Prompt: LengthDist{Median: 60, Sigma: 0.70, Min: 16, Max: 1024},
 			Output: LengthDist{Median: 80, Sigma: 0.60, Min: 16, Max: 512},
 		},
 		{
 			Category: request.Summarization, App: "summarization", Dataset: "CNN/DailyMail",
-			SLOAbs: 0.150,
+			SLOAbs: 0.150, TTFTSLOAbs: 4.0,
 			Prompt: LengthDist{Median: 700, Sigma: 0.40, Min: 256, Max: 4096},
 			Output: LengthDist{Median: 80, Sigma: 0.35, Min: 32, Max: 512},
 		},

@@ -102,7 +102,9 @@ func (g *Generator) MakeAt(cat request.Category, t float64) *request.Request {
 	id := g.next
 	g.next++
 	seed := mathutil.Hash2(g.cfg.Seed, uint64(id)+0x5151)
-	return request.New(id, cat, g.slo(spec), t, prompt, output, seed)
+	r := request.New(id, cat, g.slo(spec), t, prompt, output, seed)
+	r.TTFTSLO = spec.TTFTSLOAbs
+	return r
 }
 
 // sampleCategory draws a category from the mix.

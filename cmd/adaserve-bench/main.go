@@ -48,9 +48,21 @@ func main() {
 		log.Fatalf("unknown model %q (llama, qwen, both)", *modelFlag)
 	}
 
+	// knownExps is the one list the validation map and the error message
+	// both derive from; keep it in sync with the dispatch below.
+	knownExps := []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg", "hardware"}
+	known := map[string]bool{}
+	for _, name := range knownExps {
+		known[name] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if !known[name] {
+			log.Fatalf("unknown -exp %q (have %s)", name, strings.Join(knownExps, ", "))
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	opts := experiments.RunOptions{Seed: *seed, Duration: *duration, Parallel: *parallel}

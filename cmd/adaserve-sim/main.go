@@ -1,11 +1,20 @@
-// adaserve-sim runs one serving configuration over one synthesized trace
+// adaserve-sim runs one serving configuration over one synthesized workload
 // and dumps the full metric summary — the single-run counterpart of
-// adaserve-bench's sweeps.
+// adaserve-bench's sweeps. Every run goes through the unified event-driven
+// driver (internal/serve); unknown flag values fail fast with a one-line
+// error.
+//
+// By default the workload is a closed trace replay (the paper's bursty
+// real-world shape). With -rate-profile the run is open-loop instead:
+// arrivals are synthesized on the fly from a time-varying Poisson process
+// (constant, ramp, spike, diurnal), so the trace is never materialized.
+// With -live the run streams periodic snapshots — windowed attainment and
+// goodput per SLO class — plus SLO-violation events as they become certain.
 //
 // With -replicas > 1 it runs a multi-replica cluster instead: N independent
 // copies of the system behind the chosen router policy, fed from one global
 // arrival stream, reporting cluster-aggregate and per-replica metrics. In
-// cluster mode -rps is the per-replica rate (the trace carries
+// cluster mode -rps is the per-replica rate (the workload carries
 // rps × replicas requests per second).
 //
 // With -roles the cluster is disaggregated: "-roles 2P2D" runs two dedicated
@@ -17,7 +26,8 @@
 //
 //	adaserve-sim -system AdaServe -model llama -rps 3.8 -duration 120
 //	adaserve-sim -system "vLLM-Spec (6)" -urgent 0.7 -slo-scale 0.8
-//	adaserve-sim -replicas 4 -router slo-aware
+//	adaserve-sim -rate-profile spike -live
+//	adaserve-sim -replicas 4 -router slo-aware -live
 //	adaserve-sim -roles 2P2D -router least-loaded
 package main
 
@@ -29,8 +39,10 @@ import (
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
 	"adaserve/internal/mathutil"
+	"adaserve/internal/metrics"
 	"adaserve/internal/request"
-	"adaserve/internal/sim"
+	"adaserve/internal/sched"
+	"adaserve/internal/serve"
 	"adaserve/internal/workload"
 )
 
@@ -44,22 +56,32 @@ func main() {
 	replicas := flag.Int("replicas", 1, "number of serving replicas (cluster mode when > 1)")
 	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware")
 	rolesFlag := flag.String("roles", "", "disaggregated role split, e.g. 2P2D (overrides -replicas)")
+	profile := flag.String("rate-profile", "", "open-loop arrival shape: constant, ramp, spike, diurnal (empty: closed trace replay)")
+	live := flag.Bool("live", false, "stream periodic rolling-metric snapshots and SLO-violation events")
+	snapEvery := flag.Float64("snapshot-every", 5, "simulated seconds between -live snapshots")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
+	// Validate every enumerated flag up front: a typo exits non-zero with
+	// one line, never a panic deep in setup.
+	kind, err := experiments.ParseSystem(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *replicas < 1 {
 		log.Fatalf("-replicas %d: need at least 1", *replicas)
 	}
+	if _, err := cluster.NewRouter(*router); err != nil {
+		log.Fatal(err)
+	}
 	var roles []cluster.Role
 	if *rolesFlag != "" {
-		var err error
 		roles, err = cluster.ParseSplit(*rolesFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
 		*replicas = len(roles)
 	}
-
 	var setup experiments.ModelSetup
 	switch *model {
 	case "llama":
@@ -67,7 +89,19 @@ func main() {
 	case "qwen":
 		setup = experiments.Qwen32B()
 	default:
-		log.Fatalf("unknown model %q", *model)
+		log.Fatalf("unknown model %q (llama, qwen)", *model)
+	}
+	if *snapEvery <= 0 {
+		log.Fatalf("-snapshot-every %g: need a positive interval", *snapEvery)
+	}
+	totalRPS := *rps * float64(*replicas)
+	var rate workload.RateFn
+	var maxRate float64
+	if *profile != "" {
+		rate, maxRate, err = workload.RateProfile(*profile, totalRPS, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	mix := workload.DefaultMix
@@ -78,28 +112,111 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	totalRPS := *rps * float64(*replicas)
-	ts := workload.RealTrace(mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), totalRPS, *duration)
-	reqs := gen.FromTimestamps(ts)
-	st := workload.StreamStats(reqs)
 	fmt.Printf("model: %s (baseline %.1f ms/token)\n", setup.Name, 1e3*setup.BaselineLatency())
-	fmt.Printf("trace: %d requests, %.2f rps, mean prompt %.0f, mean output %.0f\n",
-		st.Requests, st.MeanRPS, st.MeanPrompt, st.MeanOutput)
 
+	// Build the source: closed trace replay by default, open-loop with the
+	// chosen rate shape when -rate-profile is set.
+	var src serve.Source
+	var traceReqs []*request.Request
+	if rate != nil {
+		src, err = serve.NewOpenLoop(gen, mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), rate, maxRate, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: open-loop %s profile, mean %.2f rps over %.0fs\n", *profile, totalRPS, *duration)
+	} else {
+		ts := workload.RealTrace(mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), totalRPS, *duration)
+		traceReqs = gen.FromTimestamps(ts)
+		st := workload.StreamStats(traceReqs)
+		fmt.Printf("trace: %d requests, %.2f rps, mean prompt %.0f, mean output %.0f\n",
+			st.Requests, st.MeanRPS, st.MeanPrompt, st.MeanOutput)
+		ts2, err := serve.NewTraceSource(traceReqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = ts2
+	}
+
+	// Build the backend: one system, or a (possibly disaggregated) cluster.
+	var backend serve.Backend
+	var cl *cluster.Cluster
+	var sys sched.System
 	if *replicas > 1 || len(roles) > 0 {
-		runCluster(experiments.SystemKind(*system), setup, *replicas, roles, *router, *seed, reqs)
+		if len(roles) > 0 {
+			cl, err = experiments.BuildDisagg(kind, setup, roles, *router, experiments.BuildOptions{Seed: *seed})
+		} else {
+			cl, err = experiments.BuildCluster(kind, setup, *replicas, *router, experiments.BuildOptions{Seed: *seed})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = cl
+	} else {
+		sys, err = experiments.Build(kind, setup, experiments.BuildOptions{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = serve.SingleSystem(sys)
+	}
+
+	opts := serve.Options{}
+	if *live {
+		opts.SnapshotEvery = *snapEvery
+	}
+	srv, err := serve.NewServer(backend, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *live {
+		fmt.Println()
+		srv.Subscribe(serve.ObserverFunc(liveEvent))
+	}
+	rr, err := srv.Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if cl != nil {
+		// Closed replay aggregates over the trace in trace order (matching
+		// cluster.Run byte-for-byte); open-loop runs aggregate over every
+		// dispatched request.
+		printCluster(cl.Results(rr, traceReqs), *replicas)
 		return
 	}
+	reqs := traceReqs
+	if reqs == nil {
+		reqs = sys.Pool().Done()
+	}
+	printSingle(metrics.Summarize(sys.Name(), reqs, rr.Breakdown), rr)
+}
 
-	sys, err := experiments.Build(experiments.SystemKind(*system), setup, experiments.BuildOptions{Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
+// liveEvent renders the -live stream: one line per rolling-metric snapshot,
+// plus SLO violations the moment they become certain.
+func liveEvent(ev serve.Event) {
+	switch e := ev.(type) {
+	case serve.Snapshot:
+		s := e.Stats
+		tag := "live"
+		if e.Final {
+			tag = "done"
+		}
+		fmt.Printf("[%s t=%7.1fs] run %3d wait %3d | finished %5d/%5d | attain %5.1f%% (win %5.1f%%) | goodput %7.1f tok/s (win %7.1f)",
+			tag, e.Time, s.Running, s.Queued, s.Finished, s.Admitted,
+			100*s.Attainment(), 100*s.WindowAttainment(), s.Goodput, s.WindowGoodput)
+		for cat := 0; cat < request.NumCategories; cat++ {
+			c := s.PerClass[cat]
+			if c.WindowFinished > 0 {
+				fmt.Printf(" | %s %.0f%%", request.Category(cat), 100*c.WindowAttainment())
+			}
+		}
+		fmt.Println()
+	case serve.SLOViolated:
+		fmt.Printf("[viol t=%7.1fs] request %d (%s) missed its %s SLO\n",
+			e.Time, e.Req.ID, e.Req.Category, e.Kind)
 	}
-	res, err := sim.Run(sys, reqs, sim.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := res.Summary
+}
+
+func printSingle(s *metrics.Summary, rr *serve.Result) {
 	fmt.Println()
 	fmt.Println(s)
 	fmt.Printf("\nthroughput %.1f tok/s | mean TTFT %.2fs | p50 TPOT %.1fms | p99 TPOT %.1fms\n",
@@ -108,24 +225,10 @@ func main() {
 	fmt.Printf("breakdown: scheduling %.2f%%, speculation %.1f%%, verification %.1f%%, prefill %.1f%%\n",
 		100*b.Scheduling/b.Total(), 100*b.Speculation/b.Total(),
 		100*b.Verification/b.Total(), 100*b.Prefill/b.Total())
-	fmt.Printf("simulated: %.1fs over %d iterations\n", res.EndTime, res.Iterations)
+	fmt.Printf("simulated: %.1fs over %d iterations\n", rr.EndTime, rr.Iterations)
 }
 
-func runCluster(kind experiments.SystemKind, setup experiments.ModelSetup, n int, roles []cluster.Role, router string, seed uint64, reqs []*request.Request) {
-	var cl *cluster.Cluster
-	var err error
-	if len(roles) > 0 {
-		cl, err = experiments.BuildDisagg(kind, setup, roles, router, experiments.BuildOptions{Seed: seed})
-	} else {
-		cl, err = experiments.BuildCluster(kind, setup, n, router, experiments.BuildOptions{Seed: seed})
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := cl.Run(reqs, cluster.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
+func printCluster(res *cluster.Result, n int) {
 	s := res.Summary
 	fmt.Println()
 	fmt.Println(s)

@@ -1,0 +1,112 @@
+// Streaming: drive AdaServe through the event-driven serving API
+// (internal/serve) with programmatic request submission instead of a
+// pre-built trace.
+//
+// The example plays a multi-turn chat: an opening request per user is
+// Submitted up front, and every time a turn finishes an observer callback
+// submits the user's follow-up turn after a think-time pause — request
+// arrivals depend on earlier completions, which no closed trace replay can
+// express. The same observer prints the per-request lifecycle (admission,
+// first token, token progress, SLO violations, completion) and the driver's
+// periodic rolling-metric snapshots.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaserve/internal/experiments"
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/serve"
+	"adaserve/internal/workload"
+)
+
+const (
+	users     = 4   // concurrent chat users
+	turns     = 3   // turns per user
+	thinkTime = 2.5 // seconds between a reply and the user's next turn
+)
+
+func main() {
+	// 1. Build the serving system and wrap it as a single-instance backend.
+	setup := experiments.Llama70B()
+	sys, err := experiments.Build(experiments.SysAdaServe, setup, experiments.BuildOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.SingleSystem(sys), serve.Options{
+		SnapshotEvery: 5, // rolling-metric snapshot every 5 simulated seconds
+		Window:        10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A SubmitSource feeds the driver programmatically. Seed it with one
+	//    opening turn per user.
+	gen, err := experiments.NewGenerator(setup, workload.Mix{0, 1, 0}, 1.0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := serve.NewSubmitSource()
+	turn := map[int]int{} // request ID -> turn number
+	for u := 0; u < users; u++ {
+		r := gen.MakeAt(request.Chat, 0.3*float64(u))
+		turn[r.ID] = 1
+		if err := src.Submit(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. The observer narrates the lifecycle and, on each finished turn,
+	//    submits the user's next one — submission from inside a callback is
+	//    the streaming API's whole point.
+	srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) {
+		switch e := ev.(type) {
+		case serve.RequestAdmitted:
+			fmt.Printf("[t=%6.2fs] turn %d of req %-3d admitted (prompt %d tok)\n",
+				e.Time, turn[e.Req.ID], e.Req.ID, e.Req.PromptLen)
+		case serve.FirstToken:
+			fmt.Printf("[t=%6.2fs] req %-3d first token after %.0f ms\n",
+				e.Time, e.Req.ID, 1e3*e.TTFT)
+		case serve.SLOViolated:
+			fmt.Printf("[t=%6.2fs] req %-3d missed its %s SLO\n", e.Time, e.Req.ID, e.Kind)
+		case serve.RequestFinished:
+			verdict := "met SLO"
+			if !e.Attained {
+				verdict = "MISSED SLO"
+			}
+			fmt.Printf("[t=%6.2fs] req %-3d finished: %d tok, avg TPOT %.1f ms (%s)\n",
+				e.Time, e.Req.ID, e.Req.OutputLen(), 1e3*e.TPOT, verdict)
+			if t := turn[e.Req.ID]; t < turns {
+				next := gen.MakeAt(request.Chat, e.Time+thinkTime)
+				turn[next.ID] = t + 1
+				if err := src.Submit(next); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("[t=%6.2fs]   ... user types turn %d (req %d) arriving t=%.2fs\n",
+					e.Time, t+1, next.ID, next.ArrivalTime)
+			}
+		case serve.Snapshot:
+			s := e.Stats
+			fmt.Printf("[t=%6.2fs] -- snapshot: %d running, %d finished, attain %.0f%%, window goodput %.1f tok/s\n",
+				e.Time, s.Running, s.Finished, 100*s.Attainment(), s.WindowGoodput)
+		}
+	}))
+
+	// 4. Run to completion: the driver drains submissions, callbacks keep
+	//    feeding it, and the run ends when the last turn retires.
+	rr, err := srv.Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	sum := metrics.Summarize(sys.Name(), sys.Pool().Done(), rr.Breakdown)
+	fmt.Println(sum)
+	fmt.Printf("\n%d turns across %d users, %d events streamed, simulated %.1fs over %d iterations\n",
+		users*turns, users, rr.Events, rr.EndTime, rr.Iterations)
+}

@@ -3,33 +3,34 @@
 // internal/sched with its own engine, KV cache and request pool — fed from
 // one global arrival stream by a pluggable Router.
 //
-// The driver generalizes internal/sim.Run to per-replica clocks. Each
-// replica advances at its own iteration granularity; an arrival is routed
-// once every replica that still has runnable work has simulated past the
-// arrival instant, so routing observes each replica's most recent
-// iteration-boundary state — the same boundary-visibility rule the
-// single-replica driver uses, and the (slightly stale) load signal a
+// A Cluster is a serve.Backend: the unified event-driven driver in
+// internal/serve advances the replicas at per-replica iteration granularity.
+// An arrival is routed once every replica that still has runnable work has
+// simulated past the arrival instant, so routing observes each replica's
+// most recent iteration-boundary state — the same boundary-visibility rule
+// the single-replica driver uses, and the (slightly stale) load signal a
 // production router in front of independently batching replicas would have.
 // All tie-breaking is by lowest replica index, so runs are deterministic
-// under a fixed seed.
+// under a fixed seed. Run replays a closed trace through the driver in one
+// call; streaming callers (observers, open-loop sources) hand the Cluster to
+// serve.NewServer directly and assemble metrics with Results.
 //
 // Replicas optionally carry a role. A colocated cluster (every replica
 // RoleMixed) serves each request start-to-finish where it was routed. A
 // disaggregated cluster splits the fleet into prefill and decode instances:
 // arrivals are dispatched among prefill-capable replicas, and when a
-// request's prompt completes on a RolePrefill replica the driver migrates it
+// request's prompt completes on a RolePrefill replica the cluster migrates it
 // — pricing the prompt-KV handoff with a gpu.KVTransfer model — to a
 // decode-capable replica chosen by the router. The transfer latency lands on
 // the request's clock between prefill completion and decode eligibility,
 // exactly where a real disaggregated deployment pays it (inside TTFT, ahead
-// of the first decode token). Migrations are processed interleaved with
-// arrivals in global (time, request ID) order, under the same
-// boundary-visibility rule.
+// of the first decode token). Migrations ride the driver's delivery queue,
+// interleaved with arrivals in global (time, request ID) order, under the
+// same boundary-visibility rule.
 package cluster
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -37,6 +38,7 @@ import (
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
+	"adaserve/internal/serve"
 )
 
 // Role restricts which lifecycle stage a replica serves.
@@ -137,16 +139,13 @@ func SplitName(roles []Role) string {
 	return name
 }
 
-// Replica is one serving instance inside a cluster: a sched.System plus the
-// per-replica simulation state (local clock, iteration accounting, and the
-// requests routed to it).
+// Replica is one serving instance inside a cluster: a serve.Instance (the
+// driver-owned clock and iteration accounting around a sched.System) plus
+// the cluster-side placement state — its role and the requests routed or
+// migrated to it.
 type Replica struct {
-	id         int
-	role       Role
-	sys        sched.System
-	clock      float64
-	iterations int
-	breakdown  metrics.Breakdown
+	inst *serve.Instance
+	role Role
 	// routed holds arrivals dispatched here (the prefill stage for
 	// role-restricted clusters); migrated holds requests delivered by
 	// prefill-to-decode migration.
@@ -155,17 +154,20 @@ type Replica struct {
 }
 
 // ID returns the replica's index within the cluster.
-func (rep *Replica) ID() int { return rep.id }
+func (rep *Replica) ID() int { return rep.inst.ID() }
 
 // Role returns the replica's serving role.
 func (rep *Replica) Role() Role { return rep.role }
 
 // System returns the wrapped serving system.
-func (rep *Replica) System() sched.System { return rep.sys }
+func (rep *Replica) System() sched.System { return rep.inst.System() }
+
+// Instance returns the replica's driver-side serving instance.
+func (rep *Replica) Instance() *serve.Instance { return rep.inst }
 
 // Clock returns the replica's local simulated time: the end of its last
 // executed iteration (or the last arrival it received while idle).
-func (rep *Replica) Clock() float64 { return rep.clock }
+func (rep *Replica) Clock() float64 { return rep.inst.Clock() }
 
 // Routed returns the number of arrivals routed to this replica so far.
 func (rep *Replica) Routed() int { return len(rep.routed) }
@@ -190,12 +192,6 @@ func (rep *Replica) served() []*request.Request {
 	}
 }
 
-// hasWork reports whether the replica has waiting or running requests.
-func (rep *Replica) hasWork() bool {
-	p := rep.sys.Pool()
-	return p.NumWaiting() > 0 || p.NumRunning() > 0
-}
-
 // remainingTokens is a request's outstanding work: prompt tokens not yet
 // prefilled plus output tokens not yet generated.
 func remainingTokens(r *request.Request) int {
@@ -210,7 +206,7 @@ func remainingTokens(r *request.Request) int {
 // least-loaded router balances on (the SLO-aware router balances resident
 // headcount instead — see ActiveRequests).
 func (rep *Replica) QueuedTokens() int {
-	p := rep.sys.Pool()
+	p := rep.System().Pool()
 	n := 0
 	for _, r := range p.Waiting() {
 		n += remainingTokens(r)
@@ -226,7 +222,7 @@ func (rep *Replica) QueuedTokens() int {
 // prompts start, and therefore the dispatch signal role-aware routers
 // balance prefill traffic on.
 func (rep *Replica) QueuedPrefillTokens() int {
-	p := rep.sys.Pool()
+	p := rep.System().Pool()
 	n := 0
 	for _, r := range p.Waiting() {
 		n += r.RemainingPrefill()
@@ -245,7 +241,7 @@ func (rep *Replica) QueuedPrefillTokens() int {
 // residence, so headcount is what dilutes a tight request's token
 // allowance.
 func (rep *Replica) ActiveRequests(cutoff float64) (tight, relaxed int) {
-	p := rep.sys.Pool()
+	p := rep.System().Pool()
 	count := func(r *request.Request) {
 		if r.Phase == request.Done {
 			return
@@ -265,18 +261,12 @@ func (rep *Replica) ActiveRequests(cutoff float64) (tight, relaxed int) {
 	return tight, relaxed
 }
 
-// migration is one in-flight prefill-to-decode KV handoff: the request
-// becomes runnable on target once target's clock reaches ready.
-type migration struct {
-	req    *request.Request
-	target *Replica
-	ready  float64
-}
-
-// Cluster is a set of replicas behind a router. Like a sched.System, a
-// Cluster is single-use: build a fresh one per run.
+// Cluster is a set of replicas behind a router. It implements
+// serve.Backend, so the unified driver can advance it; like a sched.System,
+// a Cluster is single-use: build a fresh one per run.
 type Cluster struct {
 	replicas []*Replica
+	insts    []*serve.Instance
 	router   Router
 	transfer gpu.KVTransfer
 	disagg   bool
@@ -286,9 +276,7 @@ type Cluster struct {
 	prefillCap []*Replica
 	decodeCap  []*Replica
 
-	// pending holds in-flight migrations sorted by (ready, request ID).
-	pending []migration
-	stats   metrics.TransferStats
+	stats metrics.TransferStats
 }
 
 // New builds a colocated cluster (every replica RoleMixed) from
@@ -320,8 +308,9 @@ func NewWithRoles(systems []sched.System, roles []Role, router Router, transfer 
 		if sys == nil {
 			return nil, fmt.Errorf("cluster: replica %d is nil", i)
 		}
-		rep := &Replica{id: i, role: roles[i], sys: sys}
+		rep := &Replica{inst: serve.NewInstance(i, sys), role: roles[i]}
 		c.replicas = append(c.replicas, rep)
+		c.insts = append(c.insts, rep.inst)
 		if roles[i] != RoleDecode {
 			c.prefillCap = append(c.prefillCap, rep)
 		}
@@ -363,14 +352,78 @@ func (c *Cluster) Roles() []Role {
 
 // Name identifies the cluster configuration in reports.
 func (c *Cluster) Name() string {
-	base := fmt.Sprintf("%s x%d [%s]", c.replicas[0].sys.Name(), len(c.replicas), c.router.Name())
+	base := fmt.Sprintf("%s x%d [%s]", c.replicas[0].System().Name(), len(c.replicas), c.router.Name())
 	if split := SplitName(c.Roles()); split != "colocated" {
 		base += " " + split
 	}
 	return base
 }
 
-// Options bounds a cluster run.
+// Instances implements serve.Backend.
+func (c *Cluster) Instances() []*serve.Instance { return c.insts }
+
+// Dispatch implements serve.Backend: the router places the arrival among
+// prefill-capable replicas.
+func (c *Cluster) Dispatch(r *request.Request) (*serve.Instance, error) {
+	idx := c.router.Route(r, c.prefillCap)
+	if idx < 0 || idx >= len(c.prefillCap) {
+		return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
+			c.router.Name(), idx, len(c.prefillCap))
+	}
+	rep := c.prefillCap[idx]
+	rep.inst.BumpClock(r.ArrivalTime)
+	rep.System().Pool().Enqueue(r)
+	rep.routed = append(rep.routed, r)
+	return rep.inst, nil
+}
+
+// AfterIterate implements serve.Backend: it migrates prefill-complete
+// requests off a prefill-role replica. Every running request that flipped to
+// the Decoding phase during the last iteration leaves the replica (KV freed
+// at the source), is priced through the transfer model, and is dispatched to
+// a decode-capable replica by the router. The request rides the driver's
+// delivery queue until the target's clock reaches the ready instant. Pool
+// order makes the migration order deterministic.
+func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
+	rep := c.replicas[in.ID()]
+	if rep.role != RolePrefill {
+		return nil
+	}
+	var done []*request.Request
+	for _, r := range rep.System().Pool().Running() {
+		if r.Phase == request.Decoding {
+			done = append(done, r)
+		}
+	}
+	for _, r := range done {
+		rep.System().Pool().Remove(r)
+		rep.System().Release(r)
+		idx := c.router.RouteDecode(r, c.decodeCap)
+		if idx < 0 || idx >= len(c.decodeCap) {
+			return fmt.Errorf("cluster: router %s picked replica %d of %d decode candidates",
+				c.router.Name(), idx, len(c.decodeCap))
+		}
+		lat := c.transfer.Latency(r.PromptLen)
+		c.stats.Count++
+		c.stats.Bytes += c.transfer.Bytes(r.PromptLen)
+		c.stats.Time += lat
+		r.Phase = request.Preempted // re-enqueues as resumable, skipping prefill
+		req, target, ready := r, c.decodeCap[idx], rep.Clock()+lat
+		q.Schedule(ready, req.ID, func() { c.deliver(req, target, ready) })
+	}
+	return nil
+}
+
+// deliver lands an arrived migration on its decode replica, bumping an idle
+// target's clock to the transfer-completion instant.
+func (c *Cluster) deliver(r *request.Request, target *Replica, ready float64) {
+	target.inst.BumpClock(ready)
+	target.System().Pool().Enqueue(r)
+	target.migrated = append(target.migrated, r)
+}
+
+// Options bounds a cluster run. Zero values resolve to the shared driver
+// defaults (serve.DefaultMaxSimTime, serve.DefaultMaxIterations).
 type Options struct {
 	// MaxSimTime aborts runs when any replica's clock exceeds this (0: 24h).
 	MaxSimTime float64
@@ -405,192 +458,68 @@ type Result struct {
 	EndTime float64
 }
 
-// harvest migrates prefill-complete requests off a prefill-role replica:
-// every running request that flipped to the Decoding phase during the last
-// iteration leaves the replica (KV freed at the source), is priced through
-// the transfer model, and is dispatched to a decode-capable replica by the
-// router. The request rides in flight until the target's clock reaches the
-// ready instant. Pool order makes the migration order deterministic.
-func (c *Cluster) harvest(rep *Replica) error {
-	if rep.role != RolePrefill {
-		return nil
-	}
-	var done []*request.Request
-	for _, r := range rep.sys.Pool().Running() {
-		if r.Phase == request.Decoding {
-			done = append(done, r)
-		}
-	}
-	for _, r := range done {
-		rep.sys.Pool().Remove(r)
-		rep.sys.Release(r)
-		idx := c.router.RouteDecode(r, c.decodeCap)
-		if idx < 0 || idx >= len(c.decodeCap) {
-			return fmt.Errorf("cluster: router %s picked replica %d of %d decode candidates",
-				c.router.Name(), idx, len(c.decodeCap))
-		}
-		lat := c.transfer.Latency(r.PromptLen)
-		c.stats.Count++
-		c.stats.Bytes += c.transfer.Bytes(r.PromptLen)
-		c.stats.Time += lat
-		r.Phase = request.Preempted // re-enqueues as resumable, skipping prefill
-		m := migration{req: r, target: c.decodeCap[idx], ready: rep.clock + lat}
-		at := sort.Search(len(c.pending), func(i int) bool {
-			p := c.pending[i]
-			return p.ready > m.ready || (p.ready == m.ready && p.req.ID > m.req.ID)
-		})
-		c.pending = append(c.pending, migration{})
-		copy(c.pending[at+1:], c.pending[at:])
-		c.pending[at] = m
-	}
-	return nil
-}
-
-// deliver lands an arrived migration on its decode replica, bumping an idle
-// target's clock to the transfer-completion instant.
-func (c *Cluster) deliver(m migration) {
-	if m.target.clock < m.ready {
-		m.target.clock = m.ready
-	}
-	m.target.sys.Pool().Enqueue(m.req)
-	m.target.migrated = append(m.target.migrated, m.req)
-}
-
-// Run drives the cluster over the request trace until every request is done.
-// Arrivals are routed in (arrival time, ID) order among prefill-capable
-// replicas; migrations are delivered interleaved with arrivals in event-time
-// order (migrations before arrivals only when strictly earlier). Each routed
+// Run drives the cluster over the request trace until every request is done:
+// a serve.Server over a TraceSource with the cluster as backend. Arrivals
+// are routed in (arrival time, ID) order among prefill-capable replicas;
+// migrations are delivered interleaved with arrivals in event-time order
+// (migrations before arrivals only when strictly earlier). Each routed
 // request stays on its replica except for the single prefill-to-decode
 // migration of a disaggregated cluster.
 func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
-	if opts.MaxSimTime == 0 {
-		opts.MaxSimTime = 24 * 3600
-	}
-	if opts.MaxIterations == 0 {
-		opts.MaxIterations = 50_000_000
-	}
-	ordered, err := request.OrderForReplay(reqs)
+	src, err := serve.NewTraceSource(reqs)
 	if err != nil {
 		return nil, err
 	}
+	srv, err := serve.NewServer(c, serve.Options{
+		MaxSimTime:    opts.MaxSimTime,
+		MaxIterations: opts.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rr, err := srv.Run(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.results(reqs, rr), nil
+}
 
-	res := &Result{}
-	next := 0
-	for {
-		// The next replica to act is the busy one with the smallest clock
-		// (lowest ID on ties). Events — trace arrivals and migration
-		// completions — at or before that clock are processed first, so
-		// every routing decision sees all replicas advanced past the event
-		// instant.
-		busy := -1
-		for i, rep := range c.replicas {
-			if rep.hasWork() && (busy < 0 || rep.clock < c.replicas[busy].clock) {
-				busy = i
-			}
-		}
-		evTime := 0.0
-		evMigration := false
-		evReady := false
-		if next < len(ordered) {
-			evTime, evReady = ordered[next].ArrivalTime, true
-		}
-		if len(c.pending) > 0 && (!evReady || c.pending[0].ready < evTime) {
-			evTime, evMigration, evReady = c.pending[0].ready, true, true
-		}
-		if evReady && (busy < 0 || evTime <= c.replicas[busy].clock) {
-			if evMigration {
-				c.deliver(c.pending[0])
-				c.pending = c.pending[1:]
-				continue
-			}
-			r := ordered[next]
-			idx := c.router.Route(r, c.prefillCap)
-			if idx < 0 || idx >= len(c.prefillCap) {
-				return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
-					c.router.Name(), idx, len(c.prefillCap))
-			}
-			rep := c.prefillCap[idx]
-			if rep.clock < r.ArrivalTime {
-				rep.clock = r.ArrivalTime
-			}
-			rep.sys.Pool().Enqueue(r)
-			rep.routed = append(rep.routed, r)
-			next++
-			continue
-		}
-		if busy < 0 {
-			break // every request routed, delivered and retired
-		}
-		rep := c.replicas[busy]
-		st := rep.sys.Iterate(rep.clock)
-		if st.Idle {
-			// The Iterate call may have just retired the replica's final
-			// requests; the top of the loop re-checks emptiness. A replica
-			// stuck with unrunnable work parks at the next event (which may
-			// or may not concern it); with no events left it can never
-			// progress: a genuine deadlock.
-			if !rep.hasWork() {
-				continue
-			}
-			parkAt := -1.0
-			if next < len(ordered) {
-				parkAt = ordered[next].ArrivalTime
-			}
-			if len(c.pending) > 0 && (parkAt < 0 || c.pending[0].ready < parkAt) {
-				parkAt = c.pending[0].ready
-			}
-			if parkAt >= 0 {
-				if rep.clock < parkAt {
-					rep.clock = parkAt
-				}
-				continue
-			}
-			p := rep.sys.Pool()
-			return nil, fmt.Errorf("cluster: replica %d (%s) deadlocked at t=%.3fs with %d waiting / %d running",
-				rep.id, rep.sys.Name(), rep.clock, p.NumWaiting(), p.NumRunning())
-		}
-		if st.Elapsed <= 0 {
-			return nil, fmt.Errorf("cluster: replica %d (%s) reported non-positive elapsed %g",
-				rep.id, rep.sys.Name(), st.Elapsed)
-		}
-		rep.clock += st.Elapsed
-		rep.iterations++
-		res.Iterations++
-		rep.breakdown.Scheduling += st.SchedCPU
-		rep.breakdown.Speculation += st.SpecTime
-		rep.breakdown.Verification += st.VerifyTime
-		rep.breakdown.Prefill += st.PrefillTime
-		if err := c.harvest(rep); err != nil {
-			return nil, err
-		}
-		if rep.clock > opts.MaxSimTime {
-			return nil, fmt.Errorf("cluster: replica %d (%s) exceeded max simulated time %.0fs",
-				rep.id, rep.sys.Name(), opts.MaxSimTime)
-		}
-		if res.Iterations > opts.MaxIterations {
-			return nil, fmt.Errorf("cluster: exceeded max iterations %d", opts.MaxIterations)
+// Results assembles the cluster result of a completed serve run driven
+// directly through serve.Server (rather than Run). reqs is the request
+// population the aggregate summarizes over — pass the trace for closed
+// replay so ordering (and therefore order-dependent float sums) matches
+// Run exactly; pass nil when the population is not known up front
+// (open-loop or programmatic sources) to aggregate over every request
+// dispatched into the cluster, in replica-routing order.
+func (c *Cluster) Results(rr *serve.Result, reqs []*request.Request) *Result {
+	if reqs == nil {
+		for _, rep := range c.replicas {
+			reqs = append(reqs, rep.routed...)
 		}
 	}
+	return c.results(reqs, rr)
+}
 
+// results builds the Result over the given request population.
+func (c *Cluster) results(reqs []*request.Request, rr *serve.Result) *Result {
+	res := &Result{Iterations: rr.Iterations, EndTime: rr.EndTime}
 	var total metrics.Breakdown
 	var perReplica []*metrics.Summary
 	for _, rep := range c.replicas {
-		total.Add(rep.breakdown)
-		name := fmt.Sprintf("replica %d", rep.id)
+		b := rep.inst.Breakdown()
+		total.Add(b)
+		name := fmt.Sprintf("replica %d", rep.ID())
 		if rep.role != RoleMixed {
-			name = fmt.Sprintf("replica %d (%s)", rep.id, rep.role)
+			name = fmt.Sprintf("replica %d (%s)", rep.ID(), rep.role)
 		}
-		sum := metrics.Summarize(name, rep.served(), rep.breakdown)
+		sum := metrics.Summarize(name, rep.served(), b)
 		perReplica = append(perReplica, sum)
 		res.PerReplica = append(res.PerReplica, ReplicaResult{
 			Summary:    sum,
 			Role:       rep.role,
-			Iterations: rep.iterations,
-			EndTime:    rep.clock,
+			Iterations: rep.inst.Iterations(),
+			EndTime:    rep.Clock(),
 		})
-		if rep.clock > res.EndTime {
-			res.EndTime = rep.clock
-		}
 	}
 	res.Summary = &metrics.ClusterSummary{
 		Aggregate: metrics.Summarize(c.Name(), reqs, total),
@@ -598,7 +527,7 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 		Roles:     c.roleStats(),
 		Transfer:  c.stats,
 	}
-	return res, nil
+	return res
 }
 
 // roleStats aggregates TTFT/TPOT attainment by replica role: TTFT over the

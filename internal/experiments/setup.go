@@ -100,6 +100,27 @@ func Figure1Systems() []SystemKind {
 	return []SystemKind{SysVLLM, SysSarathi, SysVLLMPriority, SysFastServe, SysVTC}
 }
 
+// KnownSystems lists every system configuration Build accepts.
+func KnownSystems() []SystemKind {
+	return []SystemKind{
+		SysAdaServe, SysVLLM, SysVLLMPriority, SysSarathi,
+		SysVLLMSpec4, SysVLLMSpec6, SysVLLMSpec8,
+		SysFastServe, SysVTC, SysAdaServeInterleaved,
+	}
+}
+
+// ParseSystem resolves a CLI system name to a SystemKind, failing with a
+// one-line error that lists the valid names — so binaries can reject typos
+// up front instead of panicking or erroring deep in setup.
+func ParseSystem(name string) (SystemKind, error) {
+	for _, k := range KnownSystems() {
+		if string(k) == name {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown system %q (have %v)", name, KnownSystems())
+}
+
 // BuildOptions tunes system construction.
 type BuildOptions struct {
 	// Seed differentiates runs; it drives the engine's verification RNG.
@@ -208,7 +229,7 @@ func Build(kind SystemKind, setup ModelSetup, opts BuildOptions) (sched.System, 
 	case SysAdaServeInterleaved:
 		return sched.NewAdaServeInterleaved(cfg)
 	default:
-		return nil, fmt.Errorf("experiments: unknown system %q", kind)
+		return nil, fmt.Errorf("experiments: unknown system %q (have %v)", kind, KnownSystems())
 	}
 }
 

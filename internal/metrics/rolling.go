@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"adaserve/internal/request"
+)
+
+// RollingClass is one SLO class's (request category's) share of a rolling
+// view: cumulative counters over the whole run so far plus counters over the
+// trailing window.
+type RollingClass struct {
+	// Finished/Attained/GoodTokens accumulate over every finish so far.
+	Finished, Attained int
+	GoodTokens         int
+	// WindowFinished/WindowAttained/WindowGoodTokens cover requests that
+	// finished inside the trailing window.
+	WindowFinished, WindowAttained int
+	WindowGoodTokens               int
+}
+
+// Attainment returns the class's cumulative SLO attainment fraction.
+func (c RollingClass) Attainment() float64 {
+	if c.Finished == 0 {
+		return 0
+	}
+	return float64(c.Attained) / float64(c.Finished)
+}
+
+// WindowAttainment returns the class's attainment over the trailing window.
+func (c RollingClass) WindowAttainment() float64 {
+	if c.WindowFinished == 0 {
+		return 0
+	}
+	return float64(c.WindowAttained) / float64(c.WindowFinished)
+}
+
+// RollingStats is one point-in-time view of a run in progress: occupancy,
+// cumulative attainment/goodput (converging to the terminal Summary as the
+// run drains), and windowed attainment/goodput over the trailing window —
+// overall and per SLO class. Produced incrementally by Rolling; carried by
+// the serving driver's periodic Snapshot events.
+type RollingStats struct {
+	// Time is the simulated instant of the snapshot; Window the trailing
+	// window width the Window* fields cover.
+	Time, Window float64
+	// Queued/Running are the instantaneous occupancy across all serving
+	// instances at snapshot time.
+	Queued, Running int
+	// Admitted counts every request that entered the system so far;
+	// Finished/Attained/TTFTAttained those that retired (and met their
+	// TPOT/TTFT SLOs).
+	Admitted, Finished, Attained, TTFTAttained int
+	// GoodTokens/AllTokens are output tokens from attaining / all finished
+	// requests.
+	GoodTokens, AllTokens int
+	// Goodput and Throughput are tokens/second over the span from first
+	// arrival to the latest finish, matching the terminal Summary's
+	// definitions.
+	Goodput, Throughput float64
+	// MeanAcceptedPerStep is committed tokens per verification step over
+	// finished requests.
+	MeanAcceptedPerStep float64
+	// WindowFinished/WindowAttained/WindowGoodput cover requests finishing
+	// inside the trailing window.
+	WindowFinished, WindowAttained int
+	WindowGoodput                  float64
+	// PerClass indexes the per-category split by request.Category.
+	PerClass [request.NumCategories]RollingClass
+}
+
+// Attainment returns the cumulative SLO attainment over finished requests.
+// As the run drains (every request finished) it equals the terminal
+// Summary.Attainment, whose denominator is all requests.
+func (s RollingStats) Attainment() float64 {
+	if s.Finished == 0 {
+		return 0
+	}
+	return float64(s.Attained) / float64(s.Finished)
+}
+
+// TTFTAttainment returns the cumulative TTFT attainment over finished
+// requests.
+func (s RollingStats) TTFTAttainment() float64 {
+	if s.Finished == 0 {
+		return 0
+	}
+	return float64(s.TTFTAttained) / float64(s.Finished)
+}
+
+// WindowAttainment returns the attainment over the trailing window.
+func (s RollingStats) WindowAttainment() float64 {
+	if s.WindowFinished == 0 {
+		return 0
+	}
+	return float64(s.WindowAttained) / float64(s.WindowFinished)
+}
+
+// finishRec is one finished request's contribution, kept until it ages out
+// of the window.
+type finishRec struct {
+	time     float64
+	cat      request.Category
+	attained bool
+	tokens   int
+}
+
+// Rolling computes RollingStats incrementally from request arrival and
+// finish notifications, so online drivers get windowed attainment and
+// goodput without re-scanning the request population. It is the streaming
+// counterpart of Summarize: at end of run (every admitted request finished)
+// its cumulative fields equal the terminal Summary's.
+//
+// Finish notifications may arrive slightly out of global time order (a
+// multi-instance driver reports at per-instance iteration boundaries);
+// Rolling keeps its window index sorted, so eviction stays exact.
+type Rolling struct {
+	window       float64
+	firstArrival float64
+	haveArrival  bool
+	lastDone     float64
+
+	admitted     int
+	finished     int
+	attained     int
+	ttftAttained int
+	goodTokens   int
+	allTokens    int
+	totalSteps   int
+	totalAccept  int
+	perClass     [request.NumCategories]RollingClass
+
+	// recent holds finishes sorted by time; window counters are maintained
+	// on insert and evict.
+	recent        []finishRec
+	winFinished   int
+	winAttained   int
+	winGoodTokens int
+}
+
+// NewRolling returns a Rolling with the given trailing-window width in
+// simulated seconds (window must be positive).
+func NewRolling(window float64) *Rolling {
+	if window <= 0 {
+		panic("metrics: rolling window must be positive")
+	}
+	return &Rolling{window: window}
+}
+
+// Window returns the trailing-window width.
+func (ro *Rolling) Window() float64 { return ro.window }
+
+// Arrived records a request entering the system. It pins the span start
+// (first arrival) the goodput denominators use.
+func (ro *Rolling) Arrived(r *request.Request) {
+	ro.admitted++
+	if !ro.haveArrival || r.ArrivalTime < ro.firstArrival {
+		ro.firstArrival = r.ArrivalTime
+		ro.haveArrival = true
+	}
+}
+
+// Finished records a retired request (Phase Done). Call exactly once per
+// request.
+func (ro *Rolling) Finished(r *request.Request) {
+	ro.finished++
+	if r.DoneTime > ro.lastDone {
+		ro.lastDone = r.DoneTime
+	}
+	attained := r.AttainedSLO()
+	tokens := r.OutputLen()
+	cls := &ro.perClass[r.Category]
+	cls.Finished++
+	ro.allTokens += tokens
+	if attained {
+		ro.attained++
+		ro.goodTokens += tokens
+		cls.Attained++
+		cls.GoodTokens += tokens
+	}
+	if r.AttainedTTFT() {
+		ro.ttftAttained++
+	}
+	ro.totalSteps += r.VerifySteps
+	ro.totalAccept += r.AcceptedTokens
+
+	rec := finishRec{time: r.DoneTime, cat: r.Category, attained: attained, tokens: tokens}
+	ro.insert(rec)
+	ro.winFinished++
+	cls.WindowFinished++
+	if attained {
+		ro.winAttained++
+		ro.winGoodTokens += tokens
+		cls.WindowAttained++
+		cls.WindowGoodTokens += tokens
+	}
+}
+
+// insert keeps recent sorted by finish time (stable for equal times: new
+// records go after existing ones, so eviction order is deterministic).
+func (ro *Rolling) insert(rec finishRec) {
+	at := len(ro.recent)
+	for at > 0 && ro.recent[at-1].time > rec.time {
+		at--
+	}
+	ro.recent = append(ro.recent, finishRec{})
+	copy(ro.recent[at+1:], ro.recent[at:])
+	ro.recent[at] = rec
+}
+
+// evict drops finishes that aged out of the window ending at now.
+func (ro *Rolling) evict(now float64) {
+	cutoff := now - ro.window
+	for len(ro.recent) > 0 && ro.recent[0].time < cutoff {
+		rec := ro.recent[0]
+		ro.recent = ro.recent[1:]
+		cls := &ro.perClass[rec.cat]
+		ro.winFinished--
+		cls.WindowFinished--
+		if rec.attained {
+			ro.winAttained--
+			ro.winGoodTokens -= rec.tokens
+			cls.WindowAttained--
+			cls.WindowGoodTokens -= rec.tokens
+		}
+	}
+}
+
+// Snapshot materializes the rolling view at simulated time now. queued and
+// running are the caller's instantaneous occupancy counts (the driver sums
+// them over instance pools).
+func (ro *Rolling) Snapshot(now float64, queued, running int) RollingStats {
+	ro.evict(now)
+	st := RollingStats{
+		Time:   now,
+		Window: ro.window,
+		Queued: queued, Running: running,
+		Admitted: ro.admitted, Finished: ro.finished,
+		Attained: ro.attained, TTFTAttained: ro.ttftAttained,
+		GoodTokens: ro.goodTokens, AllTokens: ro.allTokens,
+		WindowFinished: ro.winFinished, WindowAttained: ro.winAttained,
+		PerClass: ro.perClass,
+	}
+	// Span and division mirror Summarize exactly, so the terminal snapshot's
+	// goodput/throughput are bit-equal to the terminal Summary's.
+	if ro.haveArrival {
+		if dur := ro.lastDone - ro.firstArrival; dur > 0 {
+			st.Goodput = float64(ro.goodTokens) / dur
+			st.Throughput = float64(ro.allTokens) / dur
+		}
+	}
+	if ro.totalSteps > 0 {
+		st.MeanAcceptedPerStep = float64(ro.totalAccept) / float64(ro.totalSteps)
+	}
+	if span := ro.window; span > 0 {
+		if ro.haveArrival && now-ro.firstArrival < span {
+			span = now - ro.firstArrival
+		}
+		if span > 0 {
+			st.WindowGoodput = float64(ro.winGoodTokens) / span
+		}
+	}
+	return st
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"testing"
+
+	"adaserve/internal/request"
+)
+
+// finishedReq fabricates a retired request with the given timing.
+func finishedReq(id int, cat request.Category, slo, arrival, firstDecode, done float64, tokens int) *request.Request {
+	r := request.New(id, cat, slo, arrival, 16, tokens, uint64(id)+1)
+	r.FirstDecodeTime = firstDecode
+	r.FirstTokenTime = firstDecode
+	for i := 0; i < tokens; i++ {
+		r.Commit1(1, done)
+	}
+	if r.Phase != request.Done {
+		panic("fabricated request did not finish")
+	}
+	return r
+}
+
+func TestRollingZeroValues(t *testing.T) {
+	ro := NewRolling(10)
+	if ro.Window() != 10 {
+		t.Fatalf("window %g", ro.Window())
+	}
+	st := ro.Snapshot(0, 0, 0)
+	if st.Attainment() != 0 || st.TTFTAttainment() != 0 || st.WindowAttainment() != 0 {
+		t.Fatalf("empty snapshot has non-zero rates: %+v", st)
+	}
+	var cls RollingClass
+	if cls.Attainment() != 0 || cls.WindowAttainment() != 0 {
+		t.Fatalf("empty class has non-zero rates: %+v", cls)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive window accepted")
+		}
+	}()
+	NewRolling(0)
+}
+
+func TestRollingWindowAttainmentRates(t *testing.T) {
+	ro := NewRolling(10)
+	good := finishedReq(0, request.Chat, 0.05, 0, 0.5, 1, 20)
+	bad := finishedReq(1, request.Chat, 0.05, 0, 2, 8, 20)
+	ro.Arrived(good)
+	ro.Arrived(bad)
+	ro.Finished(good)
+	ro.Finished(bad)
+	st := ro.Snapshot(9, 3, 4)
+	if st.WindowAttainment() != 0.5 || st.Attainment() != 0.5 {
+		t.Fatalf("attainment %.2f window %.2f, want 0.5", st.Attainment(), st.WindowAttainment())
+	}
+	if st.Queued != 3 || st.Running != 4 {
+		t.Fatalf("occupancy %d/%d", st.Queued, st.Running)
+	}
+	cls := st.PerClass[request.Chat]
+	if cls.Attainment() != 0.5 || cls.WindowAttainment() != 0.5 {
+		t.Fatalf("class rates %.2f/%.2f", cls.Attainment(), cls.WindowAttainment())
+	}
+}
+
+func TestRollingWindowEviction(t *testing.T) {
+	ro := NewRolling(10)
+	// One attained finish at t=1 (fast decode), one violating at t=8 (slow).
+	a := finishedReq(0, request.Chat, 0.05, 0, 0.5, 1, 20) // 25 ms/tok: attains
+	b := finishedReq(1, request.Chat, 0.05, 0, 2, 8, 20)   // 300 ms/tok: violates
+	ro.Arrived(a)
+	ro.Arrived(b)
+	ro.Finished(a)
+	ro.Finished(b)
+
+	st := ro.Snapshot(9, 0, 0)
+	if st.Finished != 2 || st.Attained != 1 {
+		t.Fatalf("cumulative %d/%d", st.Attained, st.Finished)
+	}
+	if st.WindowFinished != 2 || st.WindowAttained != 1 {
+		t.Fatalf("window before eviction %d/%d", st.WindowAttained, st.WindowFinished)
+	}
+
+	// At t=12 the window [2,12] has dropped the t=1 finish.
+	st = ro.Snapshot(12, 0, 0)
+	if st.WindowFinished != 1 || st.WindowAttained != 0 {
+		t.Fatalf("window after eviction %d/%d", st.WindowAttained, st.WindowFinished)
+	}
+	if st.Finished != 2 || st.Attained != 1 {
+		t.Fatalf("eviction touched cumulative counters: %d/%d", st.Attained, st.Finished)
+	}
+	cls := st.PerClass[request.Chat]
+	if cls.WindowFinished != 1 || cls.Finished != 2 {
+		t.Fatalf("per-class window %d cumulative %d", cls.WindowFinished, cls.Finished)
+	}
+
+	// Far future: the window is empty, cumulative view intact.
+	st = ro.Snapshot(100, 0, 0)
+	if st.WindowFinished != 0 || st.WindowAttained != 0 || st.WindowGoodput != 0 {
+		t.Fatalf("stale window %+v", st)
+	}
+}
+
+// TestRollingOutOfOrderFinishes feeds finishes with non-monotone times (as
+// a multi-instance driver does) and expects exact window membership.
+func TestRollingOutOfOrderFinishes(t *testing.T) {
+	ro := NewRolling(5)
+	times := []float64{4, 2, 6, 1, 5}
+	for i, done := range times {
+		r := finishedReq(i, request.Coding, 1.0, 0, done-0.5, done, 4)
+		ro.Arrived(r)
+		ro.Finished(r)
+	}
+	// Window [2,7]: finishes at 2,4,5,6 stay, 1 is evicted.
+	st := ro.Snapshot(7, 0, 0)
+	if st.WindowFinished != 4 {
+		t.Fatalf("window %d, want 4", st.WindowFinished)
+	}
+	// Window [3.5, 8.5]: 4, 5, 6 remain.
+	st = ro.Snapshot(8.5, 0, 0)
+	if st.WindowFinished != 3 {
+		t.Fatalf("window %d, want 3", st.WindowFinished)
+	}
+}
+
+// TestRollingMatchesSummarize requires the terminal rolling view to equal
+// Summarize over the same population — the convergence contract Snapshot
+// events advertise.
+func TestRollingMatchesSummarize(t *testing.T) {
+	var reqs []*request.Request
+	ro := NewRolling(30)
+	cats := []request.Category{request.Coding, request.Chat, request.Summarization}
+	for i := 0; i < 12; i++ {
+		slo := 0.05
+		if i%3 == 0 {
+			slo = 0.01 // a third violate
+		}
+		r := finishedReq(i, cats[i%3], slo, float64(i)*0.3, float64(i)*0.3+0.2, float64(i)*0.3+1.5, 8+i)
+		reqs = append(reqs, r)
+		ro.Arrived(r)
+		ro.Finished(r)
+	}
+	sum := Summarize("test", reqs, Breakdown{})
+	st := ro.Snapshot(100, 0, 0)
+	if st.Finished != sum.Finished || st.Attained != sum.Attained {
+		t.Fatalf("finished/attained %d/%d vs %d/%d", st.Finished, st.Attained, sum.Finished, sum.Attained)
+	}
+	if st.Attainment() != sum.Attainment() {
+		t.Fatalf("attainment %.9f vs %.9f", st.Attainment(), sum.Attainment())
+	}
+	if st.TTFTAttainment() != sum.TTFTAttainment() {
+		t.Fatalf("ttft %.9f vs %.9f", st.TTFTAttainment(), sum.TTFTAttainment())
+	}
+	if st.Goodput != sum.Goodput || st.Throughput != sum.Throughput {
+		t.Fatalf("goodput %.9f/%.9f vs %.9f/%.9f", st.Goodput, st.Throughput, sum.Goodput, sum.Throughput)
+	}
+	for cat, cs := range sum.PerCategory {
+		cls := st.PerClass[cat]
+		if cls.Finished != cs.Requests || cls.Attained != cs.Attained {
+			t.Fatalf("class %v: %d/%d vs %d/%d", cat, cls.Attained, cls.Finished, cs.Attained, cs.Requests)
+		}
+		if cls.Attainment() != cs.Attainment() {
+			t.Fatalf("class %v attainment %.9f vs %.9f", cat, cls.Attainment(), cs.Attainment())
+		}
+	}
+}

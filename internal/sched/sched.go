@@ -6,8 +6,9 @@
 // Every system shares the same substrate — an execution engine, a paged KV
 // allocator, and a request pool — and exposes one operation: Iterate, which
 // performs one scheduling-plus-execution iteration starting at a given
-// simulated time and reports how long it took. The discrete-event driver in
-// internal/sim advances the clock and delivers arrivals.
+// simulated time and reports how long it took. The unified event-driven
+// driver in internal/serve advances the clock and delivers arrivals
+// (internal/sim and internal/cluster replay closed traces through it).
 package sched
 
 import (

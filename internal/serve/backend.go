@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sort"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/sched"
+)
+
+// Instance is one serving engine under the driver: a sched.System plus its
+// simulation state (local clock, iteration accounting). Backends create
+// instances with NewInstance; the driver owns clock advancement and
+// iteration accounting.
+type Instance struct {
+	id         int
+	sys        sched.System
+	clock      float64
+	iterations int
+	breakdown  metrics.Breakdown
+}
+
+// NewInstance wraps a serving system as instance id of a backend.
+func NewInstance(id int, sys sched.System) *Instance {
+	return &Instance{id: id, sys: sys}
+}
+
+// ID returns the instance's index within its backend.
+func (in *Instance) ID() int { return in.id }
+
+// System returns the wrapped serving system.
+func (in *Instance) System() sched.System { return in.sys }
+
+// Clock returns the instance's local simulated time: the end of its last
+// executed iteration (or the last event that woke it while idle).
+func (in *Instance) Clock() float64 { return in.clock }
+
+// Iterations returns the instance's executed scheduling-iteration count.
+func (in *Instance) Iterations() int { return in.iterations }
+
+// Breakdown returns the instance's accumulated per-phase time accounting.
+func (in *Instance) Breakdown() metrics.Breakdown { return in.breakdown }
+
+// BumpClock advances the clock to at least t. Idle instances jump to the
+// event that wakes them; clocks never move backwards.
+func (in *Instance) BumpClock(t float64) {
+	if in.clock < t {
+		in.clock = t
+	}
+}
+
+// hasWork reports whether the instance has waiting or running requests.
+func (in *Instance) hasWork() bool {
+	p := in.sys.Pool()
+	return p.NumWaiting() > 0 || p.NumRunning() > 0
+}
+
+// Backend is the serving substrate behind a Server: a single system or a
+// multi-replica cluster. The driver advances its instances; the backend owns
+// request placement (routing) and any post-iteration movement (e.g.
+// prefill-to-decode migration in a disaggregated cluster).
+type Backend interface {
+	// Instances returns the serving instances in ID order; instance i must
+	// report ID i. The slice must be stable for the whole run.
+	Instances() []*Instance
+	// Dispatch routes a newly arrived request: enqueue it into the chosen
+	// instance's pool — bumping an idle instance's clock to the arrival
+	// instant — and return that instance.
+	Dispatch(r *request.Request) (*Instance, error)
+	// AfterIterate runs backend work after in executed one iteration (e.g.
+	// harvesting prefill-complete requests off a prefill replica), scheduling
+	// any deferred deliveries on q.
+	AfterIterate(in *Instance, q *Queue) error
+}
+
+// single is the trivial backend: one instance, every arrival lands on it.
+type single struct {
+	insts []*Instance
+}
+
+// SingleSystem wraps one serving system as a Backend: the single-replica
+// deployment every internal/sim run uses.
+func SingleSystem(sys sched.System) Backend {
+	return &single{insts: []*Instance{NewInstance(0, sys)}}
+}
+
+// Instances implements Backend.
+func (s *single) Instances() []*Instance { return s.insts }
+
+// Dispatch implements Backend.
+func (s *single) Dispatch(r *request.Request) (*Instance, error) {
+	in := s.insts[0]
+	in.BumpClock(r.ArrivalTime)
+	in.sys.Pool().Enqueue(r)
+	return in, nil
+}
+
+// AfterIterate implements Backend.
+func (s *single) AfterIterate(*Instance, *Queue) error { return nil }
+
+// delivery is one deferred internal event: deliver runs when the driver's
+// event cursor reaches the ready instant.
+type delivery struct {
+	ready   float64
+	id      int
+	deliver func()
+}
+
+// Queue holds a run's deferred internal deliveries — events a backend
+// schedules for a future instant, like in-flight prefill-to-decode KV
+// migrations — ordered by (ready time, id). The driver interleaves them
+// with source arrivals in global event-time order (internal deliveries
+// before arrivals only when strictly earlier).
+type Queue struct {
+	items []delivery
+}
+
+// Schedule enqueues a delivery at the ready instant. id breaks ties between
+// deliveries at the same instant (lower id first); callers use the request
+// ID so the order is deterministic.
+func (q *Queue) Schedule(ready float64, id int, deliver func()) {
+	at := sort.Search(len(q.items), func(i int) bool {
+		it := q.items[i]
+		return it.ready > ready || (it.ready == ready && it.id > id)
+	})
+	q.items = append(q.items, delivery{})
+	copy(q.items[at+1:], q.items[at:])
+	q.items[at] = delivery{ready: ready, id: id, deliver: deliver}
+}
+
+// Len returns the number of pending deliveries.
+func (q *Queue) Len() int { return len(q.items) }
+
+// peek returns the earliest pending delivery without consuming it.
+func (q *Queue) peek() (delivery, bool) {
+	if len(q.items) == 0 {
+		return delivery{}, false
+	}
+	return q.items[0], true
+}
+
+// pop consumes and returns the earliest pending delivery.
+func (q *Queue) pop() delivery {
+	d := q.items[0]
+	q.items = q.items[1:]
+	return d
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+)
+
+// Event is one typed occurrence in a serving run's request lifecycle. The
+// driver emits events to registered observers in a deterministic total
+// order: lifecycle moments are reported at the iteration boundary of the
+// instance that produced them, so the stream follows simulation-processing
+// order (per-event Time stamps carry the exact lifecycle instants, which in
+// a multi-instance run are not globally monotone).
+type Event interface {
+	// When returns the simulated time the event is stamped with.
+	When() float64
+	// EventSeq returns the event's delivery sequence number: dense, starting
+	// at 0, the total order observers receive events in.
+	EventSeq() int
+	isEvent()
+}
+
+// EventMeta is the header embedded in every event.
+type EventMeta struct {
+	// Time is the simulated instant of the underlying lifecycle moment.
+	Time float64
+	// Seq is the delivery sequence number.
+	Seq int
+}
+
+// When implements Event.
+func (m EventMeta) When() float64 { return m.Time }
+
+// EventSeq implements Event.
+func (m EventMeta) EventSeq() int { return m.Seq }
+
+func (EventMeta) isEvent() {}
+
+// RequestAdmitted reports a request entering the serving system: the driver
+// dispatched it onto an instance, whose pool it now waits in. Time is the
+// request's arrival instant.
+type RequestAdmitted struct {
+	EventMeta
+	Req *request.Request
+	// Instance is the ID of the serving instance the request was routed to.
+	Instance int
+}
+
+// FirstToken reports a request's first committed output token. Time is the
+// commit instant, so Time − ArrivalTime is the request's TTFT.
+type FirstToken struct {
+	EventMeta
+	Req      *request.Request
+	Instance int
+	// TTFT is the request's time-to-first-token in seconds.
+	TTFT float64
+}
+
+// TokensCommitted reports output tokens committed for one request by one
+// scheduling iteration. Time is the iteration's end.
+type TokensCommitted struct {
+	EventMeta
+	Req      *request.Request
+	Instance int
+	// Tokens is the number committed this iteration; Total is the request's
+	// cumulative output length after it.
+	Tokens, Total int
+}
+
+// ViolationKind discriminates SLO violations.
+type ViolationKind int
+
+const (
+	// ViolationTPOT: the request's average per-token latency cannot meet its
+	// TPOT SLO any more — even committing every remaining token instantly
+	// would leave it above target.
+	ViolationTPOT ViolationKind = iota
+	// ViolationTTFT: the request's TTFT deadline passed before its first
+	// token was committed.
+	ViolationTTFT
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationTPOT:
+		return "tpot"
+	case ViolationTTFT:
+		return "ttft"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// SLOViolated reports the earliest iteration boundary at which a request's
+// SLO violation became certain — before the request finishes, so online
+// policies (renegotiation, shedding, alerting) can react. At most one event
+// per kind fires per request.
+type SLOViolated struct {
+	EventMeta
+	Req      *request.Request
+	Instance int
+	Kind     ViolationKind
+}
+
+// RequestFinished reports a retired request. Time is the request's DoneTime.
+type RequestFinished struct {
+	EventMeta
+	Req      *request.Request
+	Instance int
+	// Attained and TTFTAttained report the request's SLO outcomes; TPOT is
+	// its final average per-token latency.
+	Attained, TTFTAttained bool
+	TPOT                   float64
+}
+
+// Snapshot is the periodic rolling-metrics event: emitted every
+// Options.SnapshotEvery simulated seconds (stamped on that grid), plus one
+// final snapshot at end of run whose cumulative fields match the terminal
+// metrics.Summary. State reflects the iteration boundary at which the
+// snapshot was emitted.
+type Snapshot struct {
+	EventMeta
+	// Stats is the incrementally maintained rolling view: cumulative and
+	// windowed attainment/goodput, overall and per SLO class.
+	Stats metrics.RollingStats
+	// Final marks the end-of-run snapshot.
+	Final bool
+}
+
+// Observer receives every event of a run. Observers registered on a Server
+// are invoked synchronously, in registration order, for each event in
+// delivery order; they must not mutate requests or serving state.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }

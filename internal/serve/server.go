@@ -1,0 +1,433 @@
+// Package serve is the unified event-driven serving driver behind every
+// simulation entry point: one streaming request-lifecycle loop that feeds
+// requests from a pluggable Source into a Backend — a single serving system
+// or a multi-replica cluster — advances per-instance clocks at iteration
+// granularity, and emits a typed event stream (RequestAdmitted, FirstToken,
+// TokensCommitted, SLOViolated, RequestFinished, periodic Snapshot) to
+// registered observers, with rolling windowed metrics computed
+// incrementally instead of only at end of run.
+//
+// internal/sim.Run and internal/cluster.Run are thin compatibility wrappers
+// over this driver: closed trace replay is a Server over a TraceSource with
+// no observers, and runs byte-identically to the loops it replaced. Online
+// scenarios — open-loop arrival processes with time-varying rate,
+// programmatic submission, live dashboards — use the same loop, so replayed
+// and streamed runs share identical clock and visibility semantics:
+// arrivals become visible at iteration boundaries, events are processed in
+// global (time, ID) order, and all tie-breaking is deterministic.
+package serve
+
+import (
+	"fmt"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+)
+
+// Run-bound defaults shared by every driver entry point (serve.Options,
+// sim.Options and cluster.Options all resolve zero values to these — the
+// one place the numbers live).
+const (
+	// DefaultMaxSimTime aborts runs whose simulated clock exceeds 24 hours.
+	DefaultMaxSimTime = 24 * 3600.0
+	// DefaultMaxIterations aborts runaway runs at 50 million iterations.
+	DefaultMaxIterations = 50_000_000
+	// DefaultSnapshotWindow is the rolling-metrics trailing window.
+	DefaultSnapshotWindow = 30.0
+)
+
+// Options bounds and configures a serving run. The zero value is ready to
+// use: generous safety bounds, no snapshots.
+type Options struct {
+	// MaxSimTime aborts runs when any instance's clock exceeds this
+	// (0: DefaultMaxSimTime).
+	MaxSimTime float64
+	// MaxIterations aborts runaway runs; it counts iterations summed across
+	// instances (0: DefaultMaxIterations).
+	MaxIterations int
+	// SnapshotEvery emits a periodic Snapshot event every so many simulated
+	// seconds, plus a final one at end of run (0: no snapshots). Snapshots
+	// require at least one observer.
+	SnapshotEvery float64
+	// Window is the rolling-metrics trailing window for Snapshot events
+	// (0: DefaultSnapshotWindow).
+	Window float64
+}
+
+// fill resolves zero values to the shared defaults.
+func (o *Options) fill() {
+	if o.MaxSimTime == 0 {
+		o.MaxSimTime = DefaultMaxSimTime
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = DefaultMaxIterations
+	}
+	if o.Window == 0 {
+		o.Window = DefaultSnapshotWindow
+	}
+}
+
+// InstanceResult reports one instance's share of a completed run.
+type InstanceResult struct {
+	// Iterations is the instance's scheduling-iteration count.
+	Iterations int
+	// EndTime is the instance's final local clock.
+	EndTime float64
+	// Breakdown aggregates the instance's per-iteration time components.
+	Breakdown metrics.Breakdown
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Instances holds per-instance results in ID order.
+	Instances []InstanceResult
+	// Iterations is the total iteration count across instances.
+	Iterations int
+	// EndTime is the latest instance clock: the simulated completion time of
+	// the last request.
+	EndTime float64
+	// Breakdown sums the per-instance time components.
+	Breakdown metrics.Breakdown
+	// Events is the number of events delivered to observers.
+	Events int
+}
+
+// reqTrack is the driver's per-request event-derivation state, kept only
+// while observers are registered.
+type reqTrack struct {
+	lastLen  int
+	violTPOT bool
+	violTTFT bool
+}
+
+// Server drives a Backend over a Source. Like the serving systems it hosts,
+// a Server is single-use: build a fresh one per run.
+type Server struct {
+	backend   Backend
+	insts     []*Instance
+	opts      Options
+	observers []Observer
+	queue     Queue
+	ran       bool
+
+	// Event-derivation state (allocated only when observers exist; the
+	// observer-free hot path skips all of it).
+	tracking bool
+	seq      int
+	events   int
+	now      float64
+	nextSnap float64
+	rolling  *metrics.Rolling
+	track    map[int]*reqTrack
+	doneSeen []int
+}
+
+// NewServer validates the backend and bounds and builds a driver.
+func NewServer(backend Backend, opts Options) (*Server, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("serve: backend required")
+	}
+	insts := backend.Instances()
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("serve: backend has no instances")
+	}
+	for i, in := range insts {
+		if in == nil {
+			return nil, fmt.Errorf("serve: instance %d is nil", i)
+		}
+		if in.id != i {
+			return nil, fmt.Errorf("serve: instance at index %d reports ID %d", i, in.id)
+		}
+	}
+	if opts.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("serve: negative snapshot interval %g", opts.SnapshotEvery)
+	}
+	if opts.Window < 0 {
+		return nil, fmt.Errorf("serve: negative rolling window %g", opts.Window)
+	}
+	opts.fill()
+	return &Server{backend: backend, insts: insts, opts: opts}, nil
+}
+
+// Subscribe registers an observer for the run's event stream. Call before
+// Run; observers are invoked in registration order.
+func (s *Server) Subscribe(obs Observer) {
+	if obs != nil {
+		s.observers = append(s.observers, obs)
+	}
+}
+
+// Run drives the backend until the source is drained and every dispatched
+// request retired. Arrivals are dispatched in (arrival time, ID) order;
+// internal deliveries (e.g. migrations) are interleaved in event-time order,
+// before arrivals only when strictly earlier. The next instance to act is
+// always the busy one with the smallest clock (lowest ID on ties), so runs
+// are deterministic.
+func (s *Server) Run(src Source) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("serve: source required")
+	}
+	if s.ran {
+		return nil, fmt.Errorf("serve: Server is single-use; build a fresh one per run")
+	}
+	s.ran = true
+	s.tracking = len(s.observers) > 0
+	if s.tracking {
+		s.track = make(map[int]*reqTrack)
+		s.doneSeen = make([]int, len(s.insts))
+		if s.opts.SnapshotEvery > 0 {
+			s.rolling = metrics.NewRolling(s.opts.Window)
+			s.nextSnap = s.opts.SnapshotEvery
+		}
+	}
+
+	total := 0
+	for {
+		// Events — source arrivals and queued internal deliveries — at or
+		// before the next acting instance's clock are processed first, so
+		// every placement decision sees all instances advanced past the
+		// event instant (the boundary-visibility rule).
+		var busy *Instance
+		for _, in := range s.insts {
+			if in.hasWork() && (busy == nil || in.clock < busy.clock) {
+				busy = in
+			}
+		}
+		evTime := 0.0
+		evInternal := false
+		evReady := false
+		if t, ok := src.Peek(); ok {
+			evTime, evReady = t, true
+		}
+		if d, ok := s.queue.peek(); ok && (!evReady || d.ready < evTime) {
+			evTime, evInternal, evReady = d.ready, true, true
+		}
+		if evReady && (busy == nil || evTime <= busy.clock) {
+			if evInternal {
+				s.queue.pop().deliver()
+				continue
+			}
+			r := src.Pop()
+			in, err := s.backend.Dispatch(r)
+			if err != nil {
+				return nil, err
+			}
+			s.noteAdmitted(r, in)
+			continue
+		}
+		if busy == nil {
+			break // source drained, every request delivered and retired
+		}
+		st := busy.sys.Iterate(busy.clock)
+		if st.Idle {
+			// The Iterate call may have just retired the instance's final
+			// requests (systems move committed-Done requests to the pool's
+			// done list at the next Iterate, even an idle one), so derive
+			// retirement events before anything else; the top of the loop
+			// re-checks emptiness. An instance stuck with unrunnable work
+			// parks at the next event (which may or may not concern it);
+			// with no events left it can never progress: a genuine deadlock.
+			s.noteIteration(busy)
+			if !busy.hasWork() {
+				continue
+			}
+			parkAt := -1.0
+			if t, ok := src.Peek(); ok {
+				parkAt = t
+			}
+			if d, ok := s.queue.peek(); ok && (parkAt < 0 || d.ready < parkAt) {
+				parkAt = d.ready
+			}
+			if parkAt >= 0 {
+				busy.BumpClock(parkAt)
+				continue
+			}
+			p := busy.sys.Pool()
+			return nil, fmt.Errorf("serve: instance %d (%s) deadlocked at t=%.3fs with %d waiting / %d running",
+				busy.id, busy.sys.Name(), busy.clock, p.NumWaiting(), p.NumRunning())
+		}
+		if st.Elapsed <= 0 {
+			return nil, fmt.Errorf("serve: instance %d (%s) reported non-positive elapsed %g",
+				busy.id, busy.sys.Name(), st.Elapsed)
+		}
+		busy.clock += st.Elapsed
+		busy.iterations++
+		total++
+		busy.breakdown.Scheduling += st.SchedCPU
+		busy.breakdown.Speculation += st.SpecTime
+		busy.breakdown.Verification += st.VerifyTime
+		busy.breakdown.Prefill += st.PrefillTime
+		if err := s.backend.AfterIterate(busy, &s.queue); err != nil {
+			return nil, err
+		}
+		s.noteIteration(busy)
+		if busy.clock > s.opts.MaxSimTime {
+			return nil, fmt.Errorf("serve: instance %d (%s) exceeded max simulated time %.0fs",
+				busy.id, busy.sys.Name(), s.opts.MaxSimTime)
+		}
+		if total > s.opts.MaxIterations {
+			return nil, fmt.Errorf("serve: exceeded max iterations %d", s.opts.MaxIterations)
+		}
+	}
+
+	res := &Result{Instances: make([]InstanceResult, len(s.insts)), Iterations: total}
+	for i, in := range s.insts {
+		res.Instances[i] = InstanceResult{
+			Iterations: in.iterations,
+			EndTime:    in.clock,
+			Breakdown:  in.breakdown,
+		}
+		res.Breakdown.Add(in.breakdown)
+		if in.clock > res.EndTime {
+			res.EndTime = in.clock
+		}
+	}
+	if s.rolling != nil {
+		s.bumpNow(res.EndTime)
+		s.emitSnapshot(s.now, true)
+	}
+	res.Events = s.events
+	return res, nil
+}
+
+// emit delivers one event to every observer in registration order.
+func (s *Server) emit(ev Event) {
+	for _, o := range s.observers {
+		o.OnEvent(ev)
+	}
+	s.events++
+}
+
+// meta stamps the next event: lifecycle time t, dense delivery sequence.
+func (s *Server) meta(t float64) EventMeta {
+	m := EventMeta{Time: t, Seq: s.seq}
+	s.seq++
+	return m
+}
+
+// bumpNow advances the driver's processed-time high-water mark, which paces
+// periodic snapshots.
+func (s *Server) bumpNow(t float64) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// noteAdmitted derives the RequestAdmitted event for a dispatched arrival.
+func (s *Server) noteAdmitted(r *request.Request, in *Instance) {
+	if !s.tracking {
+		return
+	}
+	s.bumpNow(r.ArrivalTime)
+	s.maybeSnapshots()
+	s.track[r.ID] = &reqTrack{}
+	if s.rolling != nil {
+		s.rolling.Arrived(r)
+	}
+	s.emit(RequestAdmitted{EventMeta: s.meta(r.ArrivalTime), Req: r, Instance: in.id})
+}
+
+// noteIteration derives per-request lifecycle events after in executed one
+// iteration: token progress and SLO-violation certainty for resident
+// requests, then retirement events for requests that finished.
+func (s *Server) noteIteration(in *Instance) {
+	if !s.tracking {
+		return
+	}
+	now := in.clock
+	s.bumpNow(now)
+	pool := in.sys.Pool()
+	// Queued requests can only expire their TTFT deadline.
+	for _, r := range pool.Waiting() {
+		s.checkTTFTDeadline(r, in, now)
+	}
+	for _, r := range pool.Running() {
+		if st := s.track[r.ID]; st != nil {
+			s.noteProgress(r, st, in, now)
+		}
+	}
+	done := pool.Done()
+	for _, r := range done[s.doneSeen[in.id]:] {
+		st := s.track[r.ID]
+		if st == nil {
+			continue
+		}
+		s.noteProgress(r, st, in, now)
+		if !st.violTPOT && !r.AttainedSLO() {
+			st.violTPOT = true
+			s.emit(SLOViolated{EventMeta: s.meta(r.DoneTime), Req: r, Instance: in.id, Kind: ViolationTPOT})
+		}
+		s.emit(RequestFinished{
+			EventMeta: s.meta(r.DoneTime), Req: r, Instance: in.id,
+			Attained: r.AttainedSLO(), TTFTAttained: r.AttainedTTFT(),
+			TPOT: r.AvgTPOT(r.DoneTime),
+		})
+		if s.rolling != nil {
+			s.rolling.Finished(r)
+		}
+		delete(s.track, r.ID)
+	}
+	s.doneSeen[in.id] = len(done)
+	s.maybeSnapshots()
+}
+
+// noteProgress emits token-progress and violation-certainty events for one
+// resident (or just-finished) request.
+func (s *Server) noteProgress(r *request.Request, st *reqTrack, in *Instance, now float64) {
+	if n := r.OutputLen(); n > st.lastLen {
+		if st.lastLen == 0 {
+			if r.TTFTSLO > 0 && !st.violTTFT && r.TTFT() > r.TTFTSLO {
+				st.violTTFT = true
+				s.emit(SLOViolated{EventMeta: s.meta(r.FirstTokenTime), Req: r, Instance: in.id, Kind: ViolationTTFT})
+			}
+			s.emit(FirstToken{EventMeta: s.meta(r.FirstTokenTime), Req: r, Instance: in.id, TTFT: r.TTFT()})
+		}
+		s.emit(TokensCommitted{EventMeta: s.meta(now), Req: r, Instance: in.id, Tokens: n - st.lastLen, Total: n})
+		st.lastLen = n
+	} else {
+		s.checkTTFTDeadline(r, in, now)
+	}
+	// TPOT violation is certain once even an instant commit of every
+	// remaining token would leave the average above target.
+	if !st.violTPOT && r.Phase != request.Done && r.FirstDecodeTime >= 0 &&
+		(now-r.FirstDecodeTime)/float64(r.MaxNewTokens) > r.TPOTSLO {
+		st.violTPOT = true
+		s.emit(SLOViolated{EventMeta: s.meta(now), Req: r, Instance: in.id, Kind: ViolationTPOT})
+	}
+}
+
+// checkTTFTDeadline emits the TTFT violation the moment the deadline passes
+// with no token committed.
+func (s *Server) checkTTFTDeadline(r *request.Request, in *Instance, now float64) {
+	st := s.track[r.ID]
+	if st == nil || st.violTTFT || r.TTFTSLO <= 0 || r.FirstTokenTime >= 0 {
+		return
+	}
+	if now > r.ArrivalTime+r.TTFTSLO {
+		st.violTTFT = true
+		s.emit(SLOViolated{EventMeta: s.meta(now), Req: r, Instance: in.id, Kind: ViolationTTFT})
+	}
+}
+
+// maybeSnapshots emits every snapshot whose grid instant the processed-time
+// high-water mark has passed.
+func (s *Server) maybeSnapshots() {
+	if s.rolling == nil {
+		return
+	}
+	for s.now >= s.nextSnap {
+		s.emitSnapshot(s.nextSnap, false)
+		s.nextSnap += s.opts.SnapshotEvery
+	}
+}
+
+// emitSnapshot materializes the rolling view with instantaneous occupancy.
+func (s *Server) emitSnapshot(t float64, final bool) {
+	queued, running := 0, 0
+	for _, in := range s.insts {
+		p := in.sys.Pool()
+		queued += p.NumWaiting()
+		running += p.NumRunning()
+	}
+	s.emit(Snapshot{EventMeta: s.meta(t), Stats: s.rolling.Snapshot(t, queued, running), Final: final})
+}

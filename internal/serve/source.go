@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"adaserve/internal/mathutil"
+	"adaserve/internal/request"
+	"adaserve/internal/workload"
+)
+
+// Source feeds requests into the driver in non-decreasing arrival order.
+//
+// Peek/Pop let the driver interleave arrivals with iteration boundaries and
+// internal deliveries in global event-time order without materializing the
+// whole stream. The driver re-Peeks after every event it processes, so a
+// programmatic source (SubmitSource) may become non-empty again mid-run; a
+// run ends when the source reports empty and no instance has work left.
+type Source interface {
+	// Peek returns the arrival time of the next request without consuming
+	// it; ok is false when no request is pending.
+	Peek() (t float64, ok bool)
+	// Pop consumes and returns the next request. Valid only directly after a
+	// Peek that returned ok.
+	Pop() *request.Request
+}
+
+// TraceSource replays a fixed request trace in the canonical replay order
+// (request.OrderForReplay: FIFO by arrival time, then ID) — the closed-loop
+// Source behind sim.Run and cluster.Run.
+type TraceSource struct {
+	ordered []*request.Request
+	next    int
+}
+
+// NewTraceSource validates the trace and fixes its replay order.
+func NewTraceSource(reqs []*request.Request) (*TraceSource, error) {
+	ordered, err := request.OrderForReplay(reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceSource{ordered: ordered}, nil
+}
+
+// Peek implements Source.
+func (t *TraceSource) Peek() (float64, bool) {
+	if t.next >= len(t.ordered) {
+		return 0, false
+	}
+	return t.ordered[t.next].ArrivalTime, true
+}
+
+// Pop implements Source.
+func (t *TraceSource) Pop() *request.Request {
+	r := t.ordered[t.next]
+	t.next++
+	return r
+}
+
+// Remaining returns the number of requests not yet consumed.
+func (t *TraceSource) Remaining() int { return len(t.ordered) - t.next }
+
+// SubmitSource is the programmatic Source: tests, examples and online
+// drivers Submit requests — before the run, or from observer callbacks while
+// it executes — and the driver consumes them in (arrival time, ID) order.
+// Request IDs must be unique across the run.
+type SubmitSource struct {
+	pending []*request.Request
+}
+
+// NewSubmitSource returns an empty programmatic source.
+func NewSubmitSource() *SubmitSource { return &SubmitSource{} }
+
+// Submit validates r and inserts it into the pending stream. Requests
+// submitted mid-run should arrive no earlier than the simulation's current
+// time; an earlier arrival is legal and served as backlog, but its queueing
+// delay then includes the time that already elapsed.
+func (s *SubmitSource) Submit(r *request.Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	at := sort.Search(len(s.pending), func(i int) bool {
+		p := s.pending[i]
+		return p.ArrivalTime > r.ArrivalTime ||
+			(p.ArrivalTime == r.ArrivalTime && p.ID > r.ID)
+	})
+	s.pending = append(s.pending, nil)
+	copy(s.pending[at+1:], s.pending[at:])
+	s.pending[at] = r
+	return nil
+}
+
+// Pending returns the number of submitted, not yet consumed requests.
+func (s *SubmitSource) Pending() int { return len(s.pending) }
+
+// Peek implements Source.
+func (s *SubmitSource) Peek() (float64, bool) {
+	if len(s.pending) == 0 {
+		return 0, false
+	}
+	return s.pending[0].ArrivalTime, true
+}
+
+// Pop implements Source.
+func (s *SubmitSource) Pop() *request.Request {
+	r := s.pending[0]
+	s.pending = s.pending[1:]
+	return r
+}
+
+// OpenLoop synthesizes an open-loop arrival process lazily: timestamps are
+// drawn from a (possibly time-varying) Poisson process via Lewis thinning —
+// the same sampling workload.NonHomogeneousPoisson uses, one arrival at a
+// time — and each is materialized into a request by the workload generator
+// the moment the driver first Peeks past it. Runs are deterministic given
+// the RNG seed; an OpenLoop is single-use.
+type OpenLoop struct {
+	gen      *workload.Generator
+	rng      *mathutil.RNG
+	rate     workload.RateFn
+	maxRate  float64
+	duration float64
+
+	t    float64
+	next *request.Request
+	done bool
+	n    int
+}
+
+// NewOpenLoop builds an open-loop source over [0, duration) seconds with
+// the given time-varying rate. maxRate must upper-bound rate over the
+// window (the thinning envelope).
+func NewOpenLoop(gen *workload.Generator, rng *mathutil.RNG, rate workload.RateFn, maxRate, duration float64) (*OpenLoop, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("serve: open-loop source needs a generator")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("serve: open-loop source needs an RNG")
+	}
+	if rate == nil {
+		return nil, fmt.Errorf("serve: open-loop source needs a rate function")
+	}
+	if maxRate <= 0 {
+		return nil, fmt.Errorf("serve: open-loop max rate %g must be positive", maxRate)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("serve: open-loop duration %g must be positive", duration)
+	}
+	return &OpenLoop{gen: gen, rng: rng, rate: rate, maxRate: maxRate, duration: duration}, nil
+}
+
+// advance draws arrivals until one survives thinning or the window ends.
+func (o *OpenLoop) advance() {
+	if o.next != nil || o.done {
+		return
+	}
+	for {
+		o.t += o.rng.ExpFloat64() / o.maxRate
+		if o.t >= o.duration {
+			o.done = true
+			return
+		}
+		if o.rng.Float64() < o.rate(o.t)/o.maxRate {
+			o.next = o.gen.MakeMixedAt(o.t)
+			o.n++
+			return
+		}
+	}
+}
+
+// Peek implements Source.
+func (o *OpenLoop) Peek() (float64, bool) {
+	o.advance()
+	if o.next == nil {
+		return 0, false
+	}
+	return o.next.ArrivalTime, true
+}
+
+// Pop implements Source.
+func (o *OpenLoop) Pop() *request.Request {
+	r := o.next
+	o.next = nil
+	return r
+}
+
+// Generated returns the number of requests generated so far.
+func (o *OpenLoop) Generated() int { return o.n }

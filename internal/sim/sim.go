@@ -1,22 +1,27 @@
-// Package sim is the discrete-event driver: it feeds a trace of requests
-// into a serving system, advances simulated time by the durations the
-// system's iterations report, and aggregates metrics.
+// Package sim is the closed-loop trace-replay entry point: it feeds a trace
+// of requests into a serving system, advances simulated time by the
+// durations the system's iterations report, and aggregates metrics.
 //
-// Semantics: arrivals become visible at iteration boundaries (systems
-// schedule at iteration granularity, as all the compared systems do); the
-// run ends when every request has completed, so SLO attainment is measured
-// over the entire trace with no truncation bias.
+// Run is a thin compatibility wrapper over the unified event-driven driver
+// in internal/serve (a single-instance backend over a TraceSource), kept so
+// experiments and examples can replay a closed trace in one call. Semantics
+// are the driver's: arrivals become visible at iteration boundaries
+// (systems schedule at iteration granularity, as all the compared systems
+// do); the run ends when every request has completed, so SLO attainment is
+// measured over the entire trace with no truncation bias. Callers that need
+// the streaming lifecycle — observers, live snapshots, open-loop or
+// programmatic sources — use internal/serve directly.
 package sim
 
 import (
-	"fmt"
-
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
+	"adaserve/internal/serve"
 )
 
-// Options bounds a run.
+// Options bounds a run. Zero values resolve to the shared driver defaults
+// (serve.DefaultMaxSimTime, serve.DefaultMaxIterations).
 type Options struct {
 	// MaxSimTime aborts runs whose simulated clock exceeds this (0: 24h).
 	MaxSimTime float64
@@ -37,67 +42,25 @@ type Result struct {
 
 // Run drives the system over the request trace until every request is done.
 func Run(sys sched.System, reqs []*request.Request, opts Options) (*Result, error) {
-	if opts.MaxSimTime == 0 {
-		opts.MaxSimTime = 24 * 3600
-	}
-	if opts.MaxIterations == 0 {
-		opts.MaxIterations = 50_000_000
-	}
-	ordered, err := request.OrderForReplay(reqs)
+	src, err := serve.NewTraceSource(reqs)
 	if err != nil {
 		return nil, err
 	}
-
-	pool := sys.Pool()
-	res := &Result{}
-	now := 0.0
-	next := 0
-	for {
-		for next < len(ordered) && ordered[next].ArrivalTime <= now {
-			pool.Enqueue(ordered[next])
-			next++
-		}
-		if pool.NumWaiting() == 0 && pool.NumRunning() == 0 {
-			if next >= len(ordered) {
-				break // all done
-			}
-			now = ordered[next].ArrivalTime
-			continue
-		}
-		st := sys.Iterate(now)
-		if st.Idle {
-			// Nothing runnable. The Iterate call may have just retired the
-			// final requests; re-check emptiness at the top of the loop.
-			if pool.NumWaiting() == 0 && pool.NumRunning() == 0 {
-				continue
-			}
-			// If arrivals remain, jump to the next one; otherwise the
-			// system cannot make progress: a genuine deadlock (e.g. a
-			// request that can never fit in KV).
-			if next < len(ordered) {
-				now = ordered[next].ArrivalTime
-				continue
-			}
-			return nil, fmt.Errorf("sim: %s deadlocked at t=%.3fs with %d waiting / %d running",
-				sys.Name(), now, pool.NumWaiting(), pool.NumRunning())
-		}
-		if st.Elapsed <= 0 {
-			return nil, fmt.Errorf("sim: %s reported non-positive elapsed %g", sys.Name(), st.Elapsed)
-		}
-		now += st.Elapsed
-		res.Iterations++
-		res.Breakdown.Scheduling += st.SchedCPU
-		res.Breakdown.Speculation += st.SpecTime
-		res.Breakdown.Verification += st.VerifyTime
-		res.Breakdown.Prefill += st.PrefillTime
-		if now > opts.MaxSimTime {
-			return nil, fmt.Errorf("sim: %s exceeded max simulated time %.0fs", sys.Name(), opts.MaxSimTime)
-		}
-		if res.Iterations > opts.MaxIterations {
-			return nil, fmt.Errorf("sim: %s exceeded max iterations %d", sys.Name(), opts.MaxIterations)
-		}
+	srv, err := serve.NewServer(serve.SingleSystem(sys), serve.Options{
+		MaxSimTime:    opts.MaxSimTime,
+		MaxIterations: opts.MaxIterations,
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.EndTime = now
-	res.Summary = metrics.Summarize(sys.Name(), reqs, res.Breakdown)
-	return res, nil
+	rr, err := srv.Run(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Summary:    metrics.Summarize(sys.Name(), reqs, rr.Breakdown),
+		Iterations: rr.Iterations,
+		EndTime:    rr.EndTime,
+		Breakdown:  rr.Breakdown,
+	}, nil
 }

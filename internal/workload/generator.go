@@ -107,6 +107,16 @@ func (g *Generator) MakeAt(cat request.Category, t float64) *request.Request {
 	return r
 }
 
+// MakeMixedAt synthesizes one request arriving at time t with its category
+// sampled from the configured mix: the incremental counterpart of
+// FromTimestamps, for open-loop sources that materialize arrivals on the
+// fly. Given the same timestamps it consumes the generator's RNG in the
+// same order as FromTimestamps, so lazily and eagerly built streams are
+// identical.
+func (g *Generator) MakeMixedAt(t float64) *request.Request {
+	return g.MakeAt(g.sampleCategory(), t)
+}
+
 // sampleCategory draws a category from the mix.
 func (g *Generator) sampleCategory() request.Category {
 	u := g.rng.Float64()
@@ -127,7 +137,7 @@ func (g *Generator) sampleCategory() request.Category {
 func (g *Generator) FromTimestamps(ts []float64) []*request.Request {
 	reqs := make([]*request.Request, 0, len(ts))
 	for _, t := range ts {
-		reqs = append(reqs, g.MakeAt(g.sampleCategory(), t))
+		reqs = append(reqs, g.MakeMixedAt(t))
 	}
 	return reqs
 }

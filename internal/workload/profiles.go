@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// RateProfileNames lists the built-in open-loop arrival-rate shapes
+// accepted by RateProfile.
+func RateProfileNames() []string {
+	return []string{"constant", "ramp", "spike", "diurnal"}
+}
+
+// RateProfile returns the named open-loop arrival-rate shape scaled so its
+// mean over [0, duration) is meanRPS, plus a thinning envelope maxRate that
+// upper-bounds the rate everywhere — the pair an open-loop Poisson source
+// (serve.OpenLoop) samples from.
+//
+// Shapes:
+//
+//	constant — flat at meanRPS: the classic open-loop benchmark.
+//	ramp     — linear climb from 0.25x to 1.75x the mean: a load test that
+//	           walks the system across its saturation knee in one run.
+//	spike    — steady 0.7x base with a sharp 5x burst around mid-run: the
+//	           overload transient that separates routers and admission
+//	           policies (recovery is visible in the windowed snapshots).
+//	diurnal  — one sinusoidal day compressed onto the window, 0.4x to 1.6x:
+//	           the daily traffic swell capacity planning sizes against.
+func RateProfile(name string, meanRPS, duration float64) (RateFn, float64, error) {
+	if meanRPS <= 0 {
+		return nil, 0, fmt.Errorf("workload: rate profile mean %g must be positive", meanRPS)
+	}
+	if duration <= 0 {
+		return nil, 0, fmt.Errorf("workload: rate profile duration %g must be positive", duration)
+	}
+	if name == "constant" {
+		return func(float64) float64 { return meanRPS }, meanRPS, nil
+	}
+	var raw func(x float64) float64 // shape over normalized x in [0,1)
+	switch name {
+	case "ramp":
+		raw = func(x float64) float64 { return 0.25 + 1.5*x }
+	case "spike":
+		raw = func(x float64) float64 {
+			d := (x - 0.5) / 0.025
+			return 0.7 + 5.0*math.Exp(-d*d/2)
+		}
+	case "diurnal":
+		raw = func(x float64) float64 { return 1 - 0.6*math.Cos(2*math.Pi*x) }
+	default:
+		return nil, 0, fmt.Errorf("workload: unknown rate profile %q (have %v)", name, RateProfileNames())
+	}
+	// Normalize the shape's mean to 1 numerically (midpoint rule) and bound
+	// its peak for the thinning envelope; the shapes are smooth, so a fine
+	// grid with a small safety margin upper-bounds them.
+	const steps = 4096
+	sum, peak := 0.0, 0.0
+	for i := 0; i < steps; i++ {
+		v := raw((float64(i) + 0.5) / steps)
+		sum += v
+		if v > peak {
+			peak = v
+		}
+	}
+	mean := sum / steps
+	rate := func(t float64) float64 { return meanRPS * raw(t/duration) / mean }
+	maxRate := meanRPS * peak / mean * 1.02
+	return rate, maxRate, nil
+}

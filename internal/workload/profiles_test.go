@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRateProfilesNormalized checks every profile's mean lands on the
+// requested RPS and the thinning envelope bounds the rate everywhere.
+func TestRateProfilesNormalized(t *testing.T) {
+	const meanRPS, duration = 3.0, 120.0
+	for _, name := range RateProfileNames() {
+		rate, maxRate, err := RateProfile(name, meanRPS, duration)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		const steps = 10000
+		sum := 0.0
+		for i := 0; i < steps; i++ {
+			x := duration * (float64(i) + 0.5) / steps
+			v := rate(x)
+			if v < 0 {
+				t.Fatalf("%s: negative rate %g at t=%g", name, v, x)
+			}
+			if v > maxRate {
+				t.Fatalf("%s: rate %g exceeds envelope %g at t=%g", name, v, maxRate, x)
+			}
+			sum += v
+		}
+		mean := sum / steps
+		if math.Abs(mean-meanRPS) > 0.01*meanRPS {
+			t.Fatalf("%s: mean %.4f, want %.4f", name, mean, meanRPS)
+		}
+	}
+}
+
+// TestRateProfileShapes pins the qualitative shape of each non-constant
+// profile.
+func TestRateProfileShapes(t *testing.T) {
+	const meanRPS, duration = 2.0, 100.0
+	ramp, _, _ := RateProfile("ramp", meanRPS, duration)
+	if ramp(90) <= ramp(10) {
+		t.Fatalf("ramp does not climb: %g at t=10, %g at t=90", ramp(10), ramp(90))
+	}
+	spike, _, _ := RateProfile("spike", meanRPS, duration)
+	if spike(50) < 5*spike(10) {
+		t.Fatalf("spike peak %g not sharp vs base %g", spike(50), spike(10))
+	}
+	diurnal, _, _ := RateProfile("diurnal", meanRPS, duration)
+	if diurnal(50) <= diurnal(1) {
+		t.Fatalf("diurnal does not peak mid-window: %g vs %g", diurnal(50), diurnal(1))
+	}
+}
+
+func TestRateProfileErrors(t *testing.T) {
+	if _, _, err := RateProfile("wavy", 1, 10); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, _, err := RateProfile("ramp", 0, 10); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	if _, _, err := RateProfile("ramp", 1, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

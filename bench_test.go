@@ -350,6 +350,34 @@ func BenchmarkEngineIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoscaleGrid runs a reduced autoscaling grid end to end — the
+// equal-peak static fleet against the rate-prop elastic policy under both
+// time-varying profiles at one router — reporting the cost-efficiency
+// headline (good tokens per replica-second) per cell. This is the macro
+// benchmark covering the elastic-fleet machinery: open-loop sources,
+// provisioning cold starts, drain migrations, controller decisions.
+func BenchmarkAutoscaleGrid(b *testing.B) {
+	setup := experiments.Llama70B()
+	opts := experiments.RunOptions{Seed: 1, Duration: 20, Parallel: 1}
+	for _, profile := range experiments.AutoscaleProfiles() {
+		for _, config := range []string{"static", "rate-prop"} {
+			b.Run(fmt.Sprintf("%s/%s", profile, config), func(b *testing.B) {
+				var sum *metrics.ClusterSummary
+				for i := 0; i < b.N; i++ {
+					s, err := experiments.AutoscaleCell(setup, config, profile, "least-loaded", opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum = s
+				}
+				b.ReportMetric(sum.Autoscale.GoodputPerReplicaSecond(), "good_tok/replica_s")
+				b.ReportMetric(100*sum.Attainment(), "attain%")
+				b.ReportMetric(sum.Autoscale.ReplicaSeconds, "replica_s")
+			})
+		}
+	}
+}
+
 // BenchmarkFigureGrid runs a shortened Figure 8/9 grid end to end through
 // the experiment runner at different worker counts: the macro benchmark for
 // both the token hot path (sub-benchmark parallel=1) and the parallel

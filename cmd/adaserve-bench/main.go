@@ -11,7 +11,9 @@
 //
 // Experiments: fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
 // fig15, ablations, cluster (replica scaling × router policy), disagg
-// (colocated vs prefill/decode-disaggregated fleets × router × SLO mix).
+// (colocated vs prefill/decode-disaggregated fleets × router × SLO mix),
+// autoscale (equal-peak static fleet vs elastic scaling policies × arrival
+// profile × router, reporting goodput per replica-second).
 package main
 
 import (
@@ -27,8 +29,34 @@ import (
 	"adaserve/internal/workload"
 )
 
+// knownExps is the one list the validation map and the error message both
+// derive from; keep it in sync with the dispatch in main.
+func knownExps() []string {
+	return []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg",
+		"autoscale", "hardware"}
+}
+
+// parseExps validates the comma-separated -exp list against knownExps,
+// failing with a one-line error on any unknown token.
+func parseExps(expFlag string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, name := range knownExps() {
+		known[name] = true
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(expFlag, ",") {
+		name := strings.TrimSpace(e)
+		if !known[name] {
+			return nil, fmt.Errorf("unknown -exp %q (have %s)", name, strings.Join(knownExps(), ", "))
+		}
+		want[name] = true
+	}
+	return want, nil
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,autoscale,all)")
 	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -48,21 +76,9 @@ func main() {
 		log.Fatalf("unknown model %q (llama, qwen, both)", *modelFlag)
 	}
 
-	// knownExps is the one list the validation map and the error message
-	// both derive from; keep it in sync with the dispatch below.
-	knownExps := []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg", "hardware"}
-	known := map[string]bool{}
-	for _, name := range knownExps {
-		known[name] = true
-	}
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expFlag, ",") {
-		name := strings.TrimSpace(e)
-		if !known[name] {
-			log.Fatalf("unknown -exp %q (have %s)", name, strings.Join(knownExps, ", "))
-		}
-		want[name] = true
+	want, err := parseExps(*expFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
 	all := want["all"]
 	opts := experiments.RunOptions{Seed: *seed, Duration: *duration, Parallel: *parallel}
@@ -103,6 +119,9 @@ func main() {
 		if all || want["disagg"] {
 			runDisagg(setup, opts)
 		}
+		if all || want["autoscale"] {
+			runAutoscale(setup, opts)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
@@ -127,6 +146,17 @@ func runDisagg(setup experiments.ModelSetup, opts experiments.RunOptions) {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderDisagg(pts))
+	fmt.Println()
+}
+
+func runAutoscale(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Printf("\n--- Autoscaling: equal-peak static fleet vs scaling policies x profile x router (capacity %d, cold start %.1fs) ---\n",
+		experiments.AutoscaleFleet, experiments.AutoscaleColdStart(opts.Duration))
+	pts, err := experiments.Autoscaling(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderAutoscale(pts))
 	fmt.Println()
 }
 

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseExps is the -exp validation table: every known token (including
+// the autoscale experiment) parses, lists parse as sets, and any unknown
+// token fails with the one-line error that names the valid set.
+func TestParseExps(t *testing.T) {
+	for _, name := range knownExps() {
+		if _, err := parseExps(name); err != nil {
+			t.Errorf("known experiment %q rejected: %v", name, err)
+		}
+	}
+	cases := []struct {
+		name    string
+		exps    string
+		want    []string
+		wantErr string
+	}{
+		{name: "list", exps: "fig8,fig9,autoscale", want: []string{"fig8", "fig9", "autoscale"}},
+		{name: "spaces", exps: " cluster , disagg ", want: []string{"cluster", "disagg"}},
+		{name: "all", exps: "all", want: []string{"all"}},
+		{name: "unknown", exps: "fig8,bogus", wantErr: `unknown -exp "bogus"`},
+		{name: "near miss", exps: "autoscaling", wantErr: `unknown -exp "autoscaling"`},
+		{name: "empty token", exps: "fig8,", wantErr: `unknown -exp ""`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := parseExps(c.exps)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, c.wantErr)
+				}
+				if err != nil && !strings.Contains(err.Error(), "autoscale") {
+					t.Fatalf("error %v does not list the valid experiments", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("parsed %d experiments, want %d", len(got), len(c.want))
+			}
+			for _, w := range c.want {
+				if !got[w] {
+					t.Fatalf("parsed set %v missing %q", got, w)
+				}
+			}
+		})
+	}
+}

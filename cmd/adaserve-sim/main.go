@@ -20,7 +20,13 @@
 // With -roles the cluster is disaggregated: "-roles 2P2D" runs two dedicated
 // prefill replicas and two dedicated decode replicas, migrating each request
 // at prefill completion over the modeled interconnect. -roles implies the
-// replica count (overriding -replicas).
+// replica count; setting -replicas to a contradictory value is an error.
+//
+// With -autoscale the fleet is elastic: -replicas/-roles define the capacity
+// fleet, the run starts at one active replica per role pool, and the chosen
+// policy (target-queue, rate-prop, slo-feedback) scales within the capacity
+// — provisioning cold starts, drain migrations and all. -live then also
+// shows the fleet size and every scale event.
 //
 // Usage:
 //
@@ -29,6 +35,7 @@
 //	adaserve-sim -rate-profile spike -live
 //	adaserve-sim -replicas 4 -router slo-aware -live
 //	adaserve-sim -roles 2P2D -router least-loaded
+//	adaserve-sim -replicas 4 -autoscale rate-prop -rate-profile diurnal -live
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"fmt"
 	"log"
 
+	"adaserve/internal/autoscale"
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
 	"adaserve/internal/mathutil"
@@ -46,6 +54,44 @@ import (
 	"adaserve/internal/workload"
 )
 
+// resolveFleet validates the -replicas/-roles pair and returns the fleet
+// layout: the role list (nil for a colocated fleet) and the replica count.
+// -roles implies the count; an explicitly set -replicas that contradicts it
+// is rejected rather than silently overridden.
+func resolveFleet(replicas int, replicasSet bool, rolesSpec string) ([]cluster.Role, int, error) {
+	if replicas < 1 {
+		return nil, 0, fmt.Errorf("-replicas %d: need at least 1", replicas)
+	}
+	if rolesSpec == "" {
+		return nil, replicas, nil
+	}
+	roles, err := cluster.ParseSplit(rolesSpec)
+	if err != nil {
+		return nil, 0, err
+	}
+	if replicasSet && replicas != len(roles) {
+		return nil, 0, fmt.Errorf("-replicas %d contradicts -roles %s (%d replicas); drop -replicas or make them agree",
+			replicas, rolesSpec, len(roles))
+	}
+	return roles, len(roles), nil
+}
+
+// resolveAutoscale validates the -autoscale flag against the fleet size and
+// returns the scaling policy (nil when autoscaling is off).
+func resolveAutoscale(name string, replicas int) (autoscale.Policy, error) {
+	if name == "" {
+		return nil, nil
+	}
+	policy, err := autoscale.NewPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	if replicas < 2 {
+		return nil, fmt.Errorf("-autoscale %s needs a capacity fleet: set -replicas > 1 or -roles", name)
+	}
+	return policy, nil
+}
+
 func main() {
 	system := flag.String("system", "AdaServe", "serving system name (AdaServe, vLLM, Sarathi-Serve, vLLM-Spec (4|6|8), vLLM + Priority, FastServe, VTC, AdaServe (interleaved))")
 	model := flag.String("model", "llama", "model setup: llama or qwen")
@@ -55,7 +101,8 @@ func main() {
 	sloScale := flag.Float64("slo-scale", 1.0, "scale applied to the most urgent SLO")
 	replicas := flag.Int("replicas", 1, "number of serving replicas (cluster mode when > 1)")
 	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware")
-	rolesFlag := flag.String("roles", "", "disaggregated role split, e.g. 2P2D (overrides -replicas)")
+	rolesFlag := flag.String("roles", "", "disaggregated role split, e.g. 2P2D (implies the replica count)")
+	autoscaleFlag := flag.String("autoscale", "", "elastic-fleet scaling policy: target-queue, rate-prop, slo-feedback (empty: static fleet)")
 	profile := flag.String("rate-profile", "", "open-loop arrival shape: constant, ramp, spike, diurnal (empty: closed trace replay)")
 	live := flag.Bool("live", false, "stream periodic rolling-metric snapshots and SLO-violation events")
 	snapEvery := flag.Float64("snapshot-every", 5, "simulated seconds between -live snapshots")
@@ -68,19 +115,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *replicas < 1 {
-		log.Fatalf("-replicas %d: need at least 1", *replicas)
-	}
 	if _, err := cluster.NewRouter(*router); err != nil {
 		log.Fatal(err)
 	}
-	var roles []cluster.Role
-	if *rolesFlag != "" {
-		roles, err = cluster.ParseSplit(*rolesFlag)
-		if err != nil {
-			log.Fatal(err)
+	replicasSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "replicas" {
+			replicasSet = true
 		}
-		*replicas = len(roles)
+	})
+	roles, nReplicas, err := resolveFleet(*replicas, replicasSet, *rolesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	*replicas = nReplicas
+	policy, err := resolveAutoscale(*autoscaleFlag, *replicas)
+	if err != nil {
+		log.Fatal(err)
 	}
 	var setup experiments.ModelSetup
 	switch *model {
@@ -137,22 +188,39 @@ func main() {
 		src = ts2
 	}
 
-	// Build the backend: one system, or a (possibly disaggregated) cluster.
+	// Build the backend: one system, or a (possibly disaggregated, possibly
+	// elastic) cluster.
 	var backend serve.Backend
 	var cl *cluster.Cluster
 	var sys sched.System
-	if *replicas > 1 || len(roles) > 0 {
+	buildOpts := experiments.BuildOptions{Seed: *seed}
+	switch {
+	case policy != nil:
+		eopts := cluster.ElasticOptions{
+			ColdStart:     experiments.AutoscaleColdStart(*duration),
+			InitialActive: 1,
+		}
 		if len(roles) > 0 {
-			cl, err = experiments.BuildDisagg(kind, setup, roles, *router, experiments.BuildOptions{Seed: *seed})
+			cl, err = experiments.BuildElasticDisagg(kind, setup, roles, *router, eopts, buildOpts)
 		} else {
-			cl, err = experiments.BuildCluster(kind, setup, *replicas, *router, experiments.BuildOptions{Seed: *seed})
+			cl, err = experiments.BuildElasticCluster(kind, setup, *replicas, *router, eopts, buildOpts)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		backend = cl
-	} else {
-		sys, err = experiments.Build(kind, setup, experiments.BuildOptions{Seed: *seed})
+	case *replicas > 1 || len(roles) > 0:
+		if len(roles) > 0 {
+			cl, err = experiments.BuildDisagg(kind, setup, roles, *router, buildOpts)
+		} else {
+			cl, err = experiments.BuildCluster(kind, setup, *replicas, *router, buildOpts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = cl
+	default:
+		sys, err = experiments.Build(kind, setup, buildOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -163,13 +231,25 @@ func main() {
 	if *live {
 		opts.SnapshotEvery = *snapEvery
 	}
+	if policy != nil {
+		ctrl, err := autoscale.New(cl, policy, autoscale.Options{
+			Interval: experiments.AutoscaleInterval(*duration),
+			Window:   experiments.AutoscaleWindow(*duration),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Autoscaler = ctrl
+		fmt.Printf("autoscale: %s policy over a %d-replica capacity fleet (cold start %.1fs, decisions every %.1fs)\n",
+			policy.Name(), *replicas, experiments.AutoscaleColdStart(*duration), experiments.AutoscaleInterval(*duration))
+	}
 	srv, err := serve.NewServer(backend, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *live {
 		fmt.Println()
-		srv.Subscribe(serve.ObserverFunc(liveEvent))
+		srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) { liveEvent(ev, cl) }))
 	}
 	rr, err := srv.Run(src)
 	if err != nil {
@@ -180,7 +260,11 @@ func main() {
 		// Closed replay aggregates over the trace in trace order (matching
 		// cluster.Run byte-for-byte); open-loop runs aggregate over every
 		// dispatched request.
-		printCluster(cl.Results(rr, traceReqs), *replicas)
+		res := cl.Results(rr, traceReqs)
+		if policy != nil {
+			res.Summary.Autoscale.Policy = policy.Name()
+		}
+		printCluster(res, *replicas)
 		return
 	}
 	reqs := traceReqs
@@ -190,9 +274,10 @@ func main() {
 	printSingle(metrics.Summarize(sys.Name(), reqs, rr.Breakdown), rr)
 }
 
-// liveEvent renders the -live stream: one line per rolling-metric snapshot,
-// plus SLO violations the moment they become certain.
-func liveEvent(ev serve.Event) {
+// liveEvent renders the -live stream: one line per rolling-metric snapshot
+// (with the fleet size when the cluster is elastic), SLO violations the
+// moment they become certain, and every autoscaler action.
+func liveEvent(ev serve.Event, cl *cluster.Cluster) {
 	switch e := ev.(type) {
 	case serve.Snapshot:
 		s := e.Stats
@@ -203,6 +288,9 @@ func liveEvent(ev serve.Event) {
 		fmt.Printf("[%s t=%7.1fs] run %3d wait %3d | finished %5d/%5d | attain %5.1f%% (win %5.1f%%) | goodput %7.1f tok/s (win %7.1f)",
 			tag, e.Time, s.Running, s.Queued, s.Finished, s.Admitted,
 			100*s.Attainment(), 100*s.WindowAttainment(), s.Goodput, s.WindowGoodput)
+		if cl != nil && cl.Elastic() {
+			fmt.Printf(" | %s", fleetString(cl))
+		}
 		for cat := 0; cat < request.NumCategories; cat++ {
 			c := s.PerClass[cat]
 			if c.WindowFinished > 0 {
@@ -213,7 +301,36 @@ func liveEvent(ev serve.Event) {
 	case serve.SLOViolated:
 		fmt.Printf("[viol t=%7.1fs] request %d (%s) missed its %s SLO\n",
 			e.Time, e.Req.ID, e.Req.Category, e.Kind)
+	case serve.ScaleUp:
+		fmt.Printf("[scal t=%7.1fs] +replica %d (%s): %s -> fleet %d\n",
+			e.Time, e.Action.Instance, e.Action.Role, e.Action.Reason, e.Action.Fleet)
+	case serve.ScaleDown:
+		fmt.Printf("[scal t=%7.1fs] -replica %d (%s): %s -> fleet %d\n",
+			e.Time, e.Action.Instance, e.Action.Role, e.Action.Reason, e.Action.Fleet)
 	}
+}
+
+// fleetString renders an elastic fleet's occupancy, e.g. "fleet 3/4 (+1 prov)".
+func fleetString(cl *cluster.Cluster) string {
+	active, prov, draining := 0, 0, 0
+	for _, rep := range cl.Replicas() {
+		switch rep.State() {
+		case cluster.StateActive:
+			active++
+		case cluster.StateProvisioning:
+			prov++
+		case cluster.StateDraining:
+			draining++
+		}
+	}
+	s := fmt.Sprintf("fleet %d/%d", active, cl.Size())
+	if prov > 0 {
+		s += fmt.Sprintf(" (+%d prov)", prov)
+	}
+	if draining > 0 {
+		s += fmt.Sprintf(" (-%d drain)", draining)
+	}
+	return s
 }
 
 func printSingle(s *metrics.Summary, rr *serve.Result) {
@@ -247,6 +364,9 @@ func printCluster(res *cluster.Result, n int) {
 	if s.Transfer.Count > 0 {
 		fmt.Printf("KV transfers: %d over %s, %.1f GB total, mean %.1f ms\n",
 			s.Transfer.Count, experiments.DisaggLink.Name, s.Transfer.Bytes/1e9, 1e3*s.Transfer.MeanLatency())
+	}
+	if s.Autoscale != nil && s.Autoscale.Policy != "" {
+		fmt.Printf("autoscale %s\n", s.Autoscale)
 	}
 	fmt.Printf("simulated: %.1fs over %d iterations across %d replicas\n", res.EndTime, res.Iterations, n)
 }

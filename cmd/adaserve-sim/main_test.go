@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"adaserve/internal/cluster"
+	"adaserve/internal/experiments"
+	"adaserve/internal/serve"
+)
+
+// TestResolveFleet is the -replicas/-roles validation table: -roles implies
+// the count, and an explicitly set -replicas that contradicts it fails with
+// a one-line error instead of being silently overridden.
+func TestResolveFleet(t *testing.T) {
+	cases := []struct {
+		name        string
+		replicas    int
+		replicasSet bool
+		roles       string
+		wantN       int
+		wantRoles   int
+		wantErr     string
+	}{
+		{name: "default single", replicas: 1, wantN: 1},
+		{name: "explicit cluster", replicas: 4, replicasSet: true, wantN: 4},
+		{name: "zero replicas", replicas: 0, replicasSet: true, wantErr: "need at least 1"},
+		{name: "roles imply count", replicas: 1, roles: "2P2D", wantN: 4, wantRoles: 4},
+		{name: "agreeing replicas", replicas: 4, replicasSet: true, roles: "2P2D", wantN: 4, wantRoles: 4},
+		{name: "contradicting replicas", replicas: 3, replicasSet: true, roles: "2P2D", wantErr: "contradicts"},
+		{name: "contradicting mixed split", replicas: 2, replicasSet: true, roles: "mixed4", wantErr: "contradicts"},
+		{name: "bad split", replicas: 1, roles: "2X2D", wantErr: "bad role split"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			roles, n, err := resolveFleet(c.replicas, c.replicasSet, c.roles)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != c.wantN || len(roles) != c.wantRoles {
+				t.Fatalf("got %d replicas, %d roles; want %d, %d", n, len(roles), c.wantN, c.wantRoles)
+			}
+		})
+	}
+}
+
+// TestFleetString covers the -live fleet renderer across lifecycle states.
+func TestFleetString(t *testing.T) {
+	cl, err := experiments.BuildElasticCluster(experiments.SysAdaServe, experiments.Llama70B(),
+		3, "round-robin", cluster.ElasticOptions{ColdStart: 1, InitialActive: 2},
+		experiments.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetString(cl); got != "fleet 2/3" {
+		t.Fatalf("fleetString = %q, want \"fleet 2/3\"", got)
+	}
+	var q serve.Queue
+	if _, ok := cl.ScaleUp(cluster.RoleMixed, 1.0, &q); !ok {
+		t.Fatal("scale-up refused")
+	}
+	if got := fleetString(cl); got != "fleet 2/3 (+1 prov)" {
+		t.Fatalf("fleetString = %q, want provisioning marker", got)
+	}
+}
+
+// TestStageStat covers the role-row renderer, including the elided
+// attainment of a stage the role never served.
+func TestStageStat(t *testing.T) {
+	if got := stageStat(0, "prefills", "TTFT attain", 0); strings.Contains(got, "%") {
+		t.Fatalf("empty stage rendered an attainment: %q", got)
+	}
+	got := stageStat(12, "decodes", "TPOT attain", 0.925)
+	if !strings.Contains(got, "12 decodes") || !strings.Contains(got, "TPOT attain 92.5%") {
+		t.Fatalf("stageStat = %q", got)
+	}
+}
+
+// TestResolveAutoscale is the -autoscale validation table: unknown policies
+// and single-replica fleets are rejected up front.
+func TestResolveAutoscale(t *testing.T) {
+	cases := []struct {
+		name     string
+		policy   string
+		replicas int
+		wantNil  bool
+		wantErr  string
+	}{
+		{name: "disabled", policy: "", replicas: 1, wantNil: true},
+		{name: "target-queue", policy: "target-queue", replicas: 4},
+		{name: "rate-prop", policy: "rate-prop", replicas: 2},
+		{name: "slo-feedback", policy: "slo-feedback", replicas: 8},
+		{name: "unknown policy", policy: "bogus", replicas: 4, wantErr: "unknown policy"},
+		{name: "single replica", policy: "rate-prop", replicas: 1, wantErr: "capacity fleet"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := resolveAutoscale(c.policy, c.replicas)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (p == nil) != c.wantNil {
+				t.Fatalf("policy = %v, wantNil = %v", p, c.wantNil)
+			}
+			if p != nil && p.Name() != c.policy {
+				t.Fatalf("policy name %q, want %q", p.Name(), c.policy)
+			}
+		})
+	}
+}

@@ -1,0 +1,267 @@
+package autoscale
+
+import (
+	"strings"
+	"testing"
+
+	"adaserve/internal/cluster"
+	"adaserve/internal/gpu"
+	"adaserve/internal/lm"
+	"adaserve/internal/request"
+	"adaserve/internal/sched"
+	"adaserve/internal/serve"
+)
+
+// fakeSys is the minimal sched.System for controller tests (the controller
+// reads pools and actuates lifecycle; it never iterates).
+type fakeSys struct{ pool *request.Pool }
+
+func newFake() *fakeSys                                 { return &fakeSys{pool: request.NewPool()} }
+func (f *fakeSys) Name() string                         { return "fake" }
+func (f *fakeSys) Pool() *request.Pool                  { return f.pool }
+func (f *fakeSys) Release(*request.Request)             {}
+func (f *fakeSys) Iterate(float64) sched.IterationStats { return sched.IterationStats{Idle: true} }
+
+func elasticCluster(t *testing.T, roles []cluster.Role, initial int) *cluster.Cluster {
+	t.Helper()
+	systems := make([]sched.System, len(roles))
+	for i := range systems {
+		systems[i] = newFake()
+	}
+	transfer := gpu.KVTransfer{Model: gpu.Llama1B, Link: gpu.NVLink4}
+	cl, err := cluster.NewElastic(systems, roles, cluster.NewRoundRobin(), transfer,
+		cluster.ElasticOptions{ColdStart: 0, InitialActive: initial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func mixedRoles(n int) []cluster.Role { return make([]cluster.Role, n) }
+
+// fixedPolicy always wants the same committed count.
+type fixedPolicy struct{ want int }
+
+func (fixedPolicy) Name() string          { return "fixed" }
+func (p fixedPolicy) Desired(Signals) int { return p.want }
+
+// capturePolicy records the Signals it was asked about.
+type capturePolicy struct {
+	seen []Signals
+	want int
+}
+
+func (*capturePolicy) Name() string { return "capture" }
+func (p *capturePolicy) Desired(sig Signals) int {
+	p.seen = append(p.seen, sig)
+	return p.want
+}
+
+func TestPolicyDesired(t *testing.T) {
+	base := Signals{Committed: 2, Active: 2, Capacity: 4}
+
+	tq := TargetQueue{TokensPerReplica: 100}
+	for _, c := range []struct{ queued, want int }{{0, 0}, {1, 1}, {100, 1}, {101, 2}, {1000, 10}} {
+		sig := base
+		sig.QueuedTokens = c.queued
+		if got := tq.Desired(sig); got != c.want {
+			t.Errorf("target-queue Desired(queued=%d) = %d, want %d", c.queued, got, c.want)
+		}
+	}
+
+	rp := RateProportional{Headroom: 1.0}
+	sig := base
+	sig.ArrivalRate = 9
+	if got := rp.Desired(sig); got != 2 {
+		t.Errorf("uncalibrated rate-prop moved the fleet: %d", got)
+	}
+	sig.ServiceRate = 2 // 9 req/s over 2 req/s/replica -> 5 replicas
+	if got := rp.Desired(sig); got != 5 {
+		t.Errorf("rate-prop Desired = %d, want 5", got)
+	}
+	if u := sig.Utilization(); u != 9.0/4.0 {
+		t.Errorf("utilization %g, want 2.25", u)
+	}
+
+	sf := SLOFeedback{Target: 0.9, Headroom: 0.5}
+	low := sig
+	low.WindowFinished = 10
+	low.WindowAttainment = 0.99
+	low.WindowTTFTAttainment = 0.5 // the worse signal drives the decision
+	if got := sf.Desired(low); got != 3 {
+		t.Errorf("slo-feedback under attainment pressure = %d, want committed+1 = 3", got)
+	}
+	idle := base
+	idle.WindowFinished = 10
+	idle.WindowAttainment = 1
+	idle.WindowTTFTAttainment = 1
+	idle.ServiceRate = 10
+	idle.ArrivalRate = 1 // utilization 0.05 < 0.5 headroom
+	if got := sf.Desired(idle); got != 1 {
+		t.Errorf("slo-feedback under headroom = %d, want committed-1 = 1", got)
+	}
+	busy := idle
+	busy.ArrivalRate = 15 // utilization 0.75: healthy and busy
+	if got := sf.Desired(busy); got != 2 {
+		t.Errorf("slo-feedback steady = %d, want committed = 2", got)
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("NewPolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := NewPolicy("nope"); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("unknown policy error = %v", err)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	cl := elasticCluster(t, mixedRoles(2), 1)
+	if _, err := New(nil, fixedPolicy{1}, Options{}); err == nil {
+		t.Error("accepted nil cluster")
+	}
+	if _, err := New(cl, nil, Options{}); err == nil {
+		t.Error("accepted nil policy")
+	}
+	if _, err := New(cl, fixedPolicy{1}, Options{Interval: -1}); err == nil {
+		t.Error("accepted negative interval")
+	}
+	staticSys := []sched.System{newFake(), newFake()}
+	static, err := cluster.New(staticSys, cluster.NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(static, fixedPolicy{1}, Options{}); err == nil {
+		t.Error("accepted a static cluster")
+	}
+}
+
+func TestTickPacingAndUpStep(t *testing.T) {
+	cl := elasticCluster(t, mixedRoles(4), 1)
+	ctrl, err := New(cl, fixedPolicy{4}, Options{Interval: 1, Hysteresis: Hysteresis{UpStep: 1, UpCooldown: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q serve.Queue
+	if acts := ctrl.Tick(0.5, &q); acts != nil {
+		t.Fatalf("decision before the first grid instant: %+v", acts)
+	}
+	acts := ctrl.Tick(1.0, &q)
+	if len(acts) != 1 || !acts[0].Up || acts[0].Fleet != 2 || acts[0].Policy != "fixed" {
+		t.Fatalf("first decision = %+v, want one scale-up to fleet 2", acts)
+	}
+	if acts := ctrl.Tick(1.4, &q); acts != nil {
+		t.Fatalf("off-grid tick acted: %+v", acts)
+	}
+	if acts := ctrl.Tick(2.0, &q); len(acts) != 1 {
+		t.Fatalf("second grid decision = %+v, want one scale-up (cooldown elapsed)", acts)
+	}
+	if cl.CommittedFleet() != 3 {
+		t.Fatalf("fleet %d after two up-steps, want 3", cl.CommittedFleet())
+	}
+}
+
+func TestDownStableAndMinClamp(t *testing.T) {
+	cl := elasticCluster(t, mixedRoles(3), 3)
+	ctrl, err := New(cl, fixedPolicy{0}, Options{Interval: 1,
+		Hysteresis: Hysteresis{DownStep: 1, DownStable: 3, DownCooldown: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q serve.Queue
+	for i, wantActs := range []int{0, 0, 1, 0, 0, 1} {
+		now := float64(i + 1)
+		acts := ctrl.Tick(now, &q)
+		if len(acts) != wantActs {
+			t.Fatalf("tick %d: %d actions, want %d", i+1, len(acts), wantActs)
+		}
+		for _, a := range acts {
+			if a.Up {
+				t.Fatalf("tick %d scaled up under a zero-desire policy", i+1)
+			}
+		}
+	}
+	// Desired 0 clamps to MinPerPool=1, so the fleet never empties.
+	if cl.CommittedFleet() != 1 {
+		t.Fatalf("fleet %d, want clamped floor 1", cl.CommittedFleet())
+	}
+	for i := 0; i < 9; i++ {
+		ctrl.Tick(float64(10+i), &q)
+	}
+	if cl.CommittedFleet() != 1 {
+		t.Fatalf("fleet shrank below the per-pool floor: %d", cl.CommittedFleet())
+	}
+}
+
+func TestSharedBudgetPrefillPriority(t *testing.T) {
+	roles := []cluster.Role{cluster.RolePrefill, cluster.RolePrefill, cluster.RoleDecode, cluster.RoleDecode}
+	cl := elasticCluster(t, roles, 1)
+	// Both pools want 2; the shared budget allows only one more replica.
+	// Prefill is processed first, so it wins the slot.
+	ctrl, err := New(cl, fixedPolicy{2}, Options{Interval: 1,
+		Hysteresis: Hysteresis{MaxTotal: 3, UpStep: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q serve.Queue
+	acts := ctrl.Tick(1.0, &q)
+	if len(acts) != 1 || acts[0].Role != "prefill" {
+		t.Fatalf("budget-constrained decision = %+v, want one prefill scale-up", acts)
+	}
+	if pp := cl.CountPool(cluster.RolePrefill); pp.Committed() != 2 {
+		t.Fatalf("prefill pool committed %d, want 2", pp.Committed())
+	}
+	if dp := cl.CountPool(cluster.RoleDecode); dp.Committed() != 1 {
+		t.Fatalf("decode pool committed %d, want 1 (budget exhausted)", dp.Committed())
+	}
+}
+
+func TestSignalsFromEvents(t *testing.T) {
+	cl := elasticCluster(t, mixedRoles(2), 1)
+	pol := &capturePolicy{want: 1}
+	ctrl, err := New(cl, pol, Options{Interval: 1, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four arrivals land in the window; two finish (attaining) before the
+	// decision.
+	for i := 0; i < 4; i++ {
+		arrival := 0.5 + 0.1*float64(i)
+		r := request.New(i, request.Chat, 1.0, arrival, 8, 1, uint64(i)+1)
+		ctrl.OnEvent(serve.RequestAdmitted{Req: r})
+		if i < 2 {
+			r.Phase = request.Decoding
+			r.PrefillDone = r.PromptLen
+			r.FirstDecodeTime = arrival
+			r.Commit([]lm.Token{1}, arrival+0.2)
+			ctrl.OnEvent(serve.RequestFinished{Req: r, Attained: true})
+		}
+	}
+	var q serve.Queue
+	ctrl.Tick(2.0, &q)
+	if len(pol.seen) != 1 {
+		t.Fatalf("policy consulted %d times, want 1", len(pol.seen))
+	}
+	sig := pol.seen[0]
+	if sig.ArrivalRate != 4/2.0 {
+		t.Fatalf("arrival rate %g, want 2 (4 arrivals over the 2s elapsed span)", sig.ArrivalRate)
+	}
+	if sig.ServiceRate <= 0 {
+		t.Fatal("service rate not calibrated from finishes")
+	}
+	if sig.WindowFinished != 2 {
+		t.Fatalf("window finished %d, want 2", sig.WindowFinished)
+	}
+	if sig.Committed != 1 || sig.Capacity != 2 {
+		t.Fatalf("occupancy signals wrong: %+v", sig)
+	}
+
+	sum := ctrl.Summary(2.0)
+	if sum.Policy != "capture" || sum.Finished != 2 || sum.Attained == 0 {
+		t.Fatalf("controller summary wrong: %+v", sum)
+	}
+}

@@ -1,0 +1,358 @@
+package autoscale
+
+import (
+	"fmt"
+
+	"adaserve/internal/cluster"
+	"adaserve/internal/metrics"
+	"adaserve/internal/serve"
+)
+
+// Defaults for Options and Hysteresis.
+const (
+	// DefaultInterval is the decision cadence in simulated seconds.
+	DefaultInterval = 5.0
+	// DefaultUpStep/DefaultDownStep bound replicas added/removed per
+	// decision: growth is urgent (a missed spike is lost goodput), shrink is
+	// cautious (a mistaken drain pays a cold start to undo).
+	DefaultUpStep   = 2
+	DefaultDownStep = 1
+	// DefaultDownStable is how many consecutive below-capacity decisions a
+	// pool must see before it shrinks (sustained headroom, not one quiet
+	// window).
+	DefaultDownStable = 3
+)
+
+// Hysteresis bounds how fast and how far the controller moves the fleet, so
+// different policies are comparable under identical traffic: every policy
+// feels the same cooldowns, step limits and budget.
+type Hysteresis struct {
+	// MinPerPool floors each role pool's committed replicas (0: 1 — the
+	// cluster must keep serving every capability).
+	MinPerPool int
+	// MaxTotal caps committed replicas across all pools — the shared
+	// hardware budget of a disaggregated fleet (0: the cluster's built
+	// capacity).
+	MaxTotal int
+	// UpStep/DownStep bound replicas added/removed per decision
+	// (0: DefaultUpStep/DefaultDownStep).
+	UpStep, DownStep int
+	// UpCooldown/DownCooldown are the minimum simulated seconds between
+	// consecutive actions in the same direction on one pool
+	// (0: the decision interval, and 3x it, respectively).
+	UpCooldown, DownCooldown float64
+	// DownStable is how many consecutive decisions must want fewer replicas
+	// before one drains (0: DefaultDownStable).
+	DownStable int
+}
+
+// Options configures a Controller.
+type Options struct {
+	// Interval is the decision cadence in simulated seconds
+	// (0: DefaultInterval). Decisions land on the interval grid, evaluated
+	// at the first iteration boundary past each grid instant.
+	Interval float64
+	// Window is the trailing-window width for rolling signals
+	// (0: serve.DefaultSnapshotWindow).
+	Window float64
+	// Hysteresis bounds the control loop.
+	Hysteresis Hysteresis
+}
+
+// poolState is the controller's per-role-pool control state.
+type poolState struct {
+	role             cluster.Role
+	lastUp, lastDown float64
+	// lowTicks counts consecutive decisions that wanted fewer replicas.
+	lowTicks int
+}
+
+// arrival is one admitted request in the offered-load window.
+type arrival struct {
+	t float64
+}
+
+// Controller implements serve.Autoscaler: wire it into a run via
+// serve.Options.Autoscaler. It observes the event stream (arrivals, token
+// commits, finishes) through rolling windows, and at each interval-grid
+// instant asks the Policy for every role pool's desired size, applies
+// hysteresis and the shared budget, and actuates the elastic cluster's
+// replica lifecycle. All decisions happen at iteration boundaries in
+// event-time order, so runs are deterministic under a fixed seed.
+//
+// Like the cluster it resizes, a Controller is single-use.
+type Controller struct {
+	cl     *cluster.Cluster
+	policy Policy
+	opts   Options
+
+	rolling *metrics.Rolling
+	pools   []*poolState
+	next    float64
+
+	// Offered-load window (head-indexed ring over admitted arrivals).
+	arrivals []arrival
+	head     int
+
+	// Service-rate calibration: request finishes are counted between
+	// decisions; the peak observed per-replica finish rate estimates
+	// sustainable capacity.
+	finishedInWindow int
+	lastDecision     float64
+	serviceRate      float64
+	billedFleet      int
+
+	scaleUps, scaleDowns int
+}
+
+// New builds a controller for an elastic cluster under the given policy.
+func New(cl *cluster.Cluster, policy Policy, opts Options) (*Controller, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("autoscale: cluster required")
+	}
+	if !cl.Elastic() {
+		return nil, fmt.Errorf("autoscale: cluster is static; build it with cluster.NewElastic")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("autoscale: policy required")
+	}
+	if opts.Interval < 0 || opts.Window < 0 {
+		return nil, fmt.Errorf("autoscale: negative interval or window")
+	}
+	if opts.Interval == 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Window == 0 {
+		opts.Window = serve.DefaultSnapshotWindow
+	}
+	h := &opts.Hysteresis
+	if h.MinPerPool <= 0 {
+		h.MinPerPool = 1
+	}
+	if h.MaxTotal <= 0 {
+		h.MaxTotal = cl.Size()
+	}
+	if h.UpStep <= 0 {
+		h.UpStep = DefaultUpStep
+	}
+	if h.DownStep <= 0 {
+		h.DownStep = DefaultDownStep
+	}
+	if h.UpCooldown <= 0 {
+		h.UpCooldown = opts.Interval
+	}
+	if h.DownCooldown <= 0 {
+		h.DownCooldown = 3 * opts.Interval
+	}
+	if h.DownStable <= 0 {
+		h.DownStable = DefaultDownStable
+	}
+	c := &Controller{
+		cl:          cl,
+		policy:      policy,
+		opts:        opts,
+		rolling:     metrics.NewRolling(opts.Window),
+		next:        opts.Interval,
+		billedFleet: cl.CommittedFleet(),
+	}
+	// One control pool per role present, in prefill, decode, mixed order:
+	// the TTFT-critical stage gets budget priority, and the order is fixed
+	// so runs are deterministic.
+	for _, role := range []cluster.Role{cluster.RolePrefill, cluster.RoleDecode, cluster.RoleMixed} {
+		if cl.CountPool(role).Capacity() > 0 {
+			c.pools = append(c.pools, &poolState{role: role})
+		}
+	}
+	return c, nil
+}
+
+// Policy returns the controller's scaling policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// OnEvent implements serve.Observer: it feeds the rolling windows.
+func (c *Controller) OnEvent(ev serve.Event) {
+	switch e := ev.(type) {
+	case serve.RequestAdmitted:
+		c.rolling.Arrived(e.Req)
+		c.arrivals = append(c.arrivals, arrival{t: e.Req.ArrivalTime})
+	case serve.RequestFinished:
+		c.rolling.Finished(e.Req)
+		c.finishedInWindow++
+	}
+}
+
+// Tick implements serve.Autoscaler: the driver calls it at every iteration
+// boundary. Between grid instants it only sweeps drained replicas; at each
+// grid instant it runs one decision round and returns the actions taken.
+func (c *Controller) Tick(now float64, q *serve.Queue) []serve.ScaleAction {
+	c.cl.SweepDrained()
+	if now < c.next {
+		return nil
+	}
+	for c.next <= now {
+		c.next += c.opts.Interval
+	}
+	return c.decide(now, q)
+}
+
+// decide runs one decision round over every role pool.
+func (c *Controller) decide(now float64, q *serve.Queue) []serve.ScaleAction {
+	// Offered load over the trailing window (or the elapsed run, when
+	// shorter).
+	span := c.opts.Window
+	if now < span {
+		span = now
+	}
+	cutoff := now - c.opts.Window
+	for c.head < len(c.arrivals) && c.arrivals[c.head].t < cutoff {
+		c.head++
+	}
+	if c.head > len(c.arrivals)/2 {
+		// Compact the evicted prefix so the window does not retain every
+		// arrival of a long run.
+		c.arrivals = append(c.arrivals[:0], c.arrivals[c.head:]...)
+		c.head = 0
+	}
+	arrivalRate := 0.0
+	if span > 0 {
+		arrivalRate = float64(len(c.arrivals)-c.head) / span
+	}
+	// Calibrate the per-replica service rate: peak observed finish rate per
+	// billed replica since the last decision (decisions can be more than
+	// one interval apart when the cluster idles through grid instants, so
+	// divide by the real elapsed span). Underestimating capacity only
+	// over-provisions, so the peak is the safe side.
+	if dt := now - c.lastDecision; dt > 0 && c.finishedInWindow > 0 && c.billedFleet > 0 {
+		if rate := float64(c.finishedInWindow) / dt / float64(c.billedFleet); rate > c.serviceRate {
+			c.serviceRate = rate
+		}
+	}
+	c.finishedInWindow = 0
+	c.lastDecision = now
+
+	st := c.rolling.Snapshot(now, 0, 0)
+	var actions []serve.ScaleAction
+	h := c.opts.Hysteresis
+	for _, ps := range c.pools {
+		pc := c.cl.CountPool(ps.role)
+		sig := Signals{
+			Now:                  now,
+			Active:               pc.Active,
+			Provisioning:         pc.Provisioning,
+			Draining:             pc.Draining,
+			Committed:            pc.Active + pc.Provisioning,
+			Capacity:             pc.Capacity(),
+			QueuedTokens:         c.poolQueuedTokens(ps.role),
+			ArrivalRate:          arrivalRate,
+			ServiceRate:          c.serviceRate,
+			WindowAttainment:     st.WindowAttainment(),
+			WindowTTFTAttainment: st.WindowTTFTAttainment(),
+			WindowFinished:       st.WindowFinished,
+		}
+		desired := c.policy.Desired(sig)
+		if desired < h.MinPerPool {
+			desired = h.MinPerPool
+		}
+		if desired > pc.Capacity() {
+			desired = pc.Capacity()
+		}
+		committed := sig.Committed
+		switch {
+		case desired > committed:
+			ps.lowTicks = 0
+			if now-ps.lastUp < h.UpCooldown && ps.lastUp > 0 {
+				break
+			}
+			step := desired - committed
+			if step > h.UpStep {
+				step = h.UpStep
+			}
+			if budget := h.MaxTotal - c.cl.CommittedFleet(); step > budget {
+				step = budget
+			}
+			acted := false
+			for i := 0; i < step; i++ {
+				rep, ok := c.cl.ScaleUp(ps.role, now, q)
+				if !ok {
+					break
+				}
+				acted = true
+				c.scaleUps++
+				actions = append(actions, serve.ScaleAction{
+					Up: true, Instance: rep.ID(), Role: ps.role.String(),
+					Policy: c.policy.Name(),
+					Reason: fmt.Sprintf("desired %d > committed %d (queued %d tok, %.2f req/s)",
+						desired, committed, sig.QueuedTokens, arrivalRate),
+					Fleet: c.cl.CommittedFleet(),
+				})
+			}
+			if acted {
+				ps.lastUp = now
+			}
+		case desired < committed:
+			ps.lowTicks++
+			if ps.lowTicks < h.DownStable || (now-ps.lastDown < h.DownCooldown && ps.lastDown > 0) {
+				break
+			}
+			step := committed - desired
+			if step > h.DownStep {
+				step = h.DownStep
+			}
+			acted := false
+			for i := 0; i < step; i++ {
+				rep, ok := c.cl.ScaleDown(ps.role, now, q)
+				if !ok {
+					break
+				}
+				acted = true
+				c.scaleDowns++
+				actions = append(actions, serve.ScaleAction{
+					Up: false, Instance: rep.ID(), Role: ps.role.String(),
+					Policy: c.policy.Name(),
+					Reason: fmt.Sprintf("desired %d < committed %d (util %.2f, attain %.0f%%)",
+						desired, committed, sig.Utilization(), 100*st.WindowAttainment()),
+					Fleet: c.cl.CommittedFleet(),
+				})
+			}
+			if acted {
+				ps.lastDown = now
+				ps.lowTicks = 0
+			}
+		default:
+			ps.lowTicks = 0
+		}
+	}
+	c.billedFleet = c.cl.CommittedFleet()
+	return actions
+}
+
+// poolQueuedTokens sums outstanding work over the pool's active replicas:
+// prompt backlog for a prefill pool (the only work it does), total
+// remaining tokens otherwise.
+func (c *Controller) poolQueuedTokens(role cluster.Role) int {
+	n := 0
+	for _, rep := range c.cl.Replicas() {
+		if rep.Role() != role || rep.State() != cluster.StateActive {
+			continue
+		}
+		if role == cluster.RolePrefill {
+			n += rep.QueuedPrefillTokens()
+		} else {
+			n += rep.QueuedTokens()
+		}
+	}
+	return n
+}
+
+// Summary reports the run's autoscaling economics at simulated time end
+// (typically the run's EndTime): the cluster's lifecycle stats stamped with
+// the policy name and the request outcomes the controller observed.
+func (c *Controller) Summary(end float64) metrics.AutoscaleSummary {
+	s := c.cl.LifecycleStats(end)
+	s.Policy = c.policy.Name()
+	st := c.rolling.Snapshot(end, 0, 0)
+	s.Finished = st.Finished
+	s.Attained = st.Attained
+	s.GoodTokens = st.GoodTokens
+	return s
+}

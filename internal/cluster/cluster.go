@@ -148,9 +148,26 @@ type Replica struct {
 	role Role
 	// routed holds arrivals dispatched here (the prefill stage for
 	// role-restricted clusters); migrated holds requests delivered by
-	// prefill-to-decode migration.
-	routed   []*request.Request
-	migrated []*request.Request
+	// prefill-to-decode migration or drain migration. pendingDeliveries
+	// counts in-flight deliveries targeting this replica — a replica with
+	// inbound work cannot be drained.
+	routed            []*request.Request
+	migrated          []*request.Request
+	pendingDeliveries int
+
+	// Lifecycle state (see lifecycle.go). Static clusters leave every
+	// replica in the zero state, StateActive, forever.
+	state State
+	// readyAt is the provisioning-complete instant (valid while
+	// StateProvisioning; the activation delivery checks it to ignore stale
+	// deliveries after a canceled-and-reprovisioned cycle).
+	readyAt float64
+	// drainedAt is the drain-decision instant (valid while StateDraining).
+	drainedAt float64
+	// activeSince starts the current consumption span; consumed accumulates
+	// completed spans (replica-seconds billing).
+	activeSince float64
+	consumed    float64
 }
 
 // ID returns the replica's index within the cluster.
@@ -271,10 +288,31 @@ type Cluster struct {
 	transfer gpu.KVTransfer
 	disagg   bool
 
-	// prefillCap and decodeCap are the role-filtered candidate sets handed
-	// to the router (== replicas for a colocated cluster).
-	prefillCap []*Replica
-	decodeCap  []*Replica
+	// prefillCap and decodeCap are the role-filtered candidate sets (== all
+	// replicas for a colocated cluster). routablePrefill/routableDecode are
+	// the state-filtered subsets handed to the router: for a static cluster
+	// they alias prefillCap/decodeCap verbatim (so static routing is
+	// byte-identical to pre-lifecycle clusters); an elastic cluster rebuilds
+	// them on every state transition.
+	prefillCap      []*Replica
+	decodeCap       []*Replica
+	routablePrefill []*Replica
+	routableDecode  []*Replica
+
+	// admitted records every dispatched arrival in admission order: the
+	// request population Results aggregates over when the caller has none
+	// (open-loop runs) — kept cluster-side because drain migration moves
+	// requests between replicas' placement lists.
+	admitted []*request.Request
+
+	// Elastic-lifecycle state (see lifecycle.go).
+	elastic         bool
+	coldStart       float64
+	scaleSeq        int
+	ups, downs      int
+	drainMigrations int
+	peakFleet       int
+	minFleet        int
 
 	stats metrics.TransferStats
 }
@@ -332,6 +370,10 @@ func NewWithRoles(systems []sched.System, roles []Role, router Router, transfer 
 			return nil, fmt.Errorf("cluster: KV-transfer model: %w", err)
 		}
 	}
+	c.routablePrefill = c.prefillCap
+	c.routableDecode = c.decodeCap
+	c.peakFleet = len(c.replicas)
+	c.minFleet = len(c.replicas)
 	return c, nil
 }
 
@@ -363,17 +405,23 @@ func (c *Cluster) Name() string {
 func (c *Cluster) Instances() []*serve.Instance { return c.insts }
 
 // Dispatch implements serve.Backend: the router places the arrival among
-// prefill-capable replicas.
+// active prefill-capable replicas (provisioning and draining replicas take
+// no new admissions).
 func (c *Cluster) Dispatch(r *request.Request) (*serve.Instance, error) {
-	idx := c.router.Route(r, c.prefillCap)
-	if idx < 0 || idx >= len(c.prefillCap) {
-		return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
-			c.router.Name(), idx, len(c.prefillCap))
+	cands := c.routablePrefill
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cluster: no active prefill-capable replica")
 	}
-	rep := c.prefillCap[idx]
+	idx := c.router.Route(r, cands)
+	if idx < 0 || idx >= len(cands) {
+		return nil, fmt.Errorf("cluster: router %s picked replica %d of %d",
+			c.router.Name(), idx, len(cands))
+	}
+	rep := cands[idx]
 	rep.inst.BumpClock(r.ArrivalTime)
 	rep.System().Pool().Enqueue(r)
 	rep.routed = append(rep.routed, r)
+	c.admitted = append(c.admitted, r)
 	return rep.inst, nil
 }
 
@@ -386,6 +434,9 @@ func (c *Cluster) Dispatch(r *request.Request) (*serve.Instance, error) {
 // order makes the migration order deterministic.
 func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
 	rep := c.replicas[in.ID()]
+	if c.elastic {
+		c.sweepDrained()
+	}
 	if rep.role != RolePrefill {
 		return nil
 	}
@@ -398,17 +449,22 @@ func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
 	for _, r := range done {
 		rep.System().Pool().Remove(r)
 		rep.System().Release(r)
-		idx := c.router.RouteDecode(r, c.decodeCap)
-		if idx < 0 || idx >= len(c.decodeCap) {
+		cands := c.routableDecode
+		if len(cands) == 0 {
+			return fmt.Errorf("cluster: no active decode-capable replica")
+		}
+		idx := c.router.RouteDecode(r, cands)
+		if idx < 0 || idx >= len(cands) {
 			return fmt.Errorf("cluster: router %s picked replica %d of %d decode candidates",
-				c.router.Name(), idx, len(c.decodeCap))
+				c.router.Name(), idx, len(cands))
 		}
 		lat := c.transfer.Latency(r.PromptLen)
 		c.stats.Count++
 		c.stats.Bytes += c.transfer.Bytes(r.PromptLen)
 		c.stats.Time += lat
 		r.Phase = request.Preempted // re-enqueues as resumable, skipping prefill
-		req, target, ready := r, c.decodeCap[idx], rep.Clock()+lat
+		req, target, ready := r, cands[idx], rep.Clock()+lat
+		target.pendingDeliveries++
 		q.Schedule(ready, req.ID, func() { c.deliver(req, target, ready) })
 	}
 	return nil
@@ -417,9 +473,20 @@ func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
 // deliver lands an arrived migration on its decode replica, bumping an idle
 // target's clock to the transfer-completion instant.
 func (c *Cluster) deliver(r *request.Request, target *Replica, ready float64) {
+	target.pendingDeliveries--
 	target.inst.BumpClock(ready)
 	target.System().Pool().Enqueue(r)
 	target.migrated = append(target.migrated, r)
+}
+
+// deliverRouted lands a drain-migrated, still-to-prefill request on its new
+// replica as a routed arrival (the prefill stage restarts there, so the
+// target owns the request's placement stats).
+func (c *Cluster) deliverRouted(r *request.Request, target *Replica, ready float64) {
+	target.pendingDeliveries--
+	target.inst.BumpClock(ready)
+	target.System().Pool().Enqueue(r)
+	target.routed = append(target.routed, r)
 }
 
 // Options bounds a cluster run. Zero values resolve to the shared driver
@@ -490,12 +557,10 @@ func (c *Cluster) Run(reqs []*request.Request, opts Options) (*Result, error) {
 // replay so ordering (and therefore order-dependent float sums) matches
 // Run exactly; pass nil when the population is not known up front
 // (open-loop or programmatic sources) to aggregate over every request
-// dispatched into the cluster, in replica-routing order.
+// dispatched into the cluster, in admission order.
 func (c *Cluster) Results(rr *serve.Result, reqs []*request.Request) *Result {
 	if reqs == nil {
-		for _, rep := range c.replicas {
-			reqs = append(reqs, rep.routed...)
-		}
+		reqs = c.admitted
 	}
 	return c.results(reqs, rr)
 }
@@ -521,11 +586,23 @@ func (c *Cluster) results(reqs []*request.Request, rr *serve.Result) *Result {
 			EndTime:    rep.Clock(),
 		})
 	}
+	as := c.LifecycleStats(rr.EndTime)
+	for _, r := range reqs {
+		if r.Phase != request.Done {
+			continue
+		}
+		as.Finished++
+		if r.AttainedSLO() {
+			as.Attained++
+			as.GoodTokens += r.OutputLen()
+		}
+	}
 	res.Summary = &metrics.ClusterSummary{
 		Aggregate: metrics.Summarize(c.Name(), reqs, total),
 		Replicas:  perReplica,
 		Roles:     c.roleStats(),
 		Transfer:  c.stats,
+		Autoscale: &as,
 	}
 	return res
 }

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"adaserve/internal/gpu"
+	"adaserve/internal/request"
+	"adaserve/internal/sched"
+	"adaserve/internal/serve"
+)
+
+// elasticFake builds an elastic all-mixed cluster of fake systems.
+func elasticFake(t *testing.T, n int, opts ElasticOptions, router Router) *Cluster {
+	t.Helper()
+	if router == nil {
+		router = NewRoundRobin()
+	}
+	systems := make([]sched.System, n)
+	for i := range systems {
+		systems[i] = newFake("fake")
+	}
+	cl, err := NewElastic(systems, nil, router, testTransfer(1e-4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestElasticInitialState(t *testing.T) {
+	cl := elasticFake(t, 4, ElasticOptions{ColdStart: 1, InitialActive: 2}, nil)
+	wantStates := []State{StateActive, StateActive, StateStopped, StateStopped}
+	for i, rep := range cl.Replicas() {
+		if rep.State() != wantStates[i] {
+			t.Errorf("replica %d state %v, want %v", i, rep.State(), wantStates[i])
+		}
+	}
+	if got := cl.CommittedFleet(); got != 2 {
+		t.Fatalf("committed fleet %d, want 2", got)
+	}
+	pc := cl.CountPool(RoleMixed)
+	if pc.Active != 2 || pc.Stopped != 2 || pc.Capacity() != 4 || pc.Committed() != 2 {
+		t.Fatalf("pool counts wrong: %+v", pc)
+	}
+	if !cl.Elastic() || cl.ColdStart() != 1 {
+		t.Fatal("elastic metadata wrong")
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	sys := []sched.System{newFake("a"), newFake("b")}
+	if _, err := NewElastic(sys, nil, NewRoundRobin(), testTransfer(1e-4), ElasticOptions{InitialActive: 0}); err == nil {
+		t.Error("accepted zero initial actives")
+	}
+	if _, err := NewElastic(sys, nil, NewRoundRobin(), testTransfer(1e-4), ElasticOptions{ColdStart: -1, InitialActive: 1}); err == nil {
+		t.Error("accepted negative cold start")
+	}
+	if _, err := NewElastic(sys, nil, NewRoundRobin(), gpu.KVTransfer{}, ElasticOptions{InitialActive: 1}); err == nil {
+		t.Error("accepted invalid transfer model")
+	}
+	// InitialActive beyond the pool size clamps rather than failing.
+	cl, err := NewElastic(sys, nil, NewRoundRobin(), testTransfer(1e-4), ElasticOptions{InitialActive: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.CommittedFleet() != 2 {
+		t.Fatalf("committed fleet %d, want 2", cl.CommittedFleet())
+	}
+}
+
+func TestScaleUpLifecycle(t *testing.T) {
+	cl := elasticFake(t, 3, ElasticOptions{ColdStart: 2, InitialActive: 1}, nil)
+	var q serve.Queue
+
+	rep, ok := cl.ScaleUp(RoleMixed, 5.0, &q)
+	if !ok || rep.ID() != 1 {
+		t.Fatalf("scale-up picked %v, want replica 1", rep)
+	}
+	if rep.State() != StateProvisioning {
+		t.Fatalf("state %v, want provisioning", rep.State())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("activation delivery not scheduled: queue len %d", q.Len())
+	}
+	if got := cl.CommittedFleet(); got != 2 {
+		t.Fatalf("committed fleet %d, want 2 (provisioning bills)", got)
+	}
+	// A provisioning replica is not routable.
+	arr := request.New(1, request.Chat, 0.05, 5.0, 16, 4, 7)
+	if _, err := cl.Dispatch(arr); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Replicas()[1].Routed() != 0 {
+		t.Fatal("arrival routed to a provisioning replica")
+	}
+
+	// Zero cold start activates instantly.
+	rep2, ok := cl.ScaleUp(RoleMixed, 6.0, &q)
+	if !ok || rep2.ID() != 2 {
+		t.Fatalf("second scale-up picked %v", rep2)
+	}
+	cl2 := elasticFake(t, 2, ElasticOptions{ColdStart: 0, InitialActive: 1}, nil)
+	repI, ok := cl2.ScaleUp(RoleMixed, 1.0, &q)
+	if !ok || repI.State() != StateActive {
+		t.Fatalf("zero-cold-start scale-up state %v, want active", repI.State())
+	}
+	if repI.Clock() != 1.0 {
+		t.Fatalf("activated replica clock %g, want bumped to 1.0", repI.Clock())
+	}
+
+	// No spares left: refused.
+	if _, ok := cl.ScaleUp(RoleMixed, 7.0, &q); ok {
+		t.Fatal("scale-up succeeded with no stopped replica")
+	}
+}
+
+func TestScaleDownCancelsProvisioningFirst(t *testing.T) {
+	cl := elasticFake(t, 3, ElasticOptions{ColdStart: 5, InitialActive: 1}, nil)
+	var q serve.Queue
+	rep, _ := cl.ScaleUp(RoleMixed, 1.0, &q)
+	down, ok := cl.ScaleDown(RoleMixed, 2.0, &q)
+	if !ok || down != rep {
+		t.Fatalf("scale-down picked %v, want the provisioning replica %d", down, rep.ID())
+	}
+	if down.State() != StateStopped {
+		t.Fatalf("canceled replica state %v, want stopped", down.State())
+	}
+	// Its consumption span covers exactly the provisioning time so far.
+	if got := cl.LifecycleStats(10).ReplicaSeconds; got != 10+1 {
+		t.Fatalf("replica-seconds %g, want 11 (replica 0 for 10s + canceled provisioning 1s)", got)
+	}
+	// The stale activation delivery must not resurrect it: re-provision with
+	// a different ready time, then deliver both through a driver run — the
+	// direct harness can't pop the queue, so check the guard directly.
+	cl.activate(down, 6.0)
+	if down.State() != StateStopped {
+		t.Fatal("stale activation flipped a canceled replica")
+	}
+}
+
+func TestScaleDownGuardsLastActive(t *testing.T) {
+	cl := elasticFake(t, 2, ElasticOptions{ColdStart: 1, InitialActive: 1}, nil)
+	var q serve.Queue
+	if _, ok := cl.ScaleDown(RoleMixed, 1.0, &q); ok {
+		t.Fatal("drained the last active replica")
+	}
+	// Disaggregated: draining the only prefill replica must be refused even
+	// with decode replicas active.
+	roles := []Role{RolePrefill, RoleDecode, RoleDecode}
+	systems := []sched.System{newFake("p"), newFake("d"), newFake("d")}
+	dcl, err := NewElastic(systems, roles, LeastLoaded{}, testTransfer(1e-4), ElasticOptions{ColdStart: 1, InitialActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dcl.ScaleDown(RolePrefill, 1.0, &q); ok {
+		t.Fatal("drained the only prefill-capable replica")
+	}
+	if _, ok := dcl.ScaleDown(RoleDecode, 1.0, &q); !ok {
+		t.Fatal("refused to drain a redundant decode replica")
+	}
+}
+
+func TestScaleDownDrainMigratesWaiting(t *testing.T) {
+	cl := elasticFake(t, 2, ElasticOptions{ColdStart: 0, InitialActive: 2}, nil)
+	var q serve.Queue
+	// Replica 0 carries the heavier backlog, so the least-outstanding-work
+	// victim rule drains replica 1 — which holds two waiting requests: one
+	// untouched arrival (free re-route) and one paused decode with computed
+	// KV (pays the transfer).
+	cl.Replicas()[0].System().Pool().Enqueue(request.New(0, request.Summarization, 0.15, 0.4, 512, 64, 5))
+	fresh := request.New(1, request.Chat, 0.05, 0.5, 16, 4, 7)
+	cl.Replicas()[1].System().Pool().Enqueue(fresh)
+	resumed := request.New(2, request.Chat, 0.05, 0.6, 16, 4, 8)
+	resumed.Phase = request.Preempted
+	resumed.PrefillDone = resumed.PromptLen
+	cl.Replicas()[1].System().Pool().Enqueue(resumed)
+
+	down, ok := cl.ScaleDown(RoleMixed, 1.0, &q)
+	if !ok || down.ID() != 1 {
+		t.Fatalf("scale-down picked %v, want replica 1", down)
+	}
+	if down.State() != StateStopped {
+		// Pool was emptied by the drain migration, so the sweep inside drain
+		// already retired it.
+		t.Fatalf("drained replica state %v, want stopped (pool emptied)", down.State())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("drain scheduled %d deliveries, want 2", q.Len())
+	}
+	if cl.drainMigrations != 2 {
+		t.Fatalf("drain migrations %d, want 2", cl.drainMigrations)
+	}
+	// Only the computed request pays the transfer model.
+	if cl.stats.Count != 1 || cl.stats.Bytes <= 0 {
+		t.Fatalf("transfer stats %+v, want exactly one priced migration", cl.stats)
+	}
+}
+
+func TestScaleDownSkipsPendingDeliveryTarget(t *testing.T) {
+	cl := elasticFake(t, 4, ElasticOptions{ColdStart: 0, InitialActive: 4}, routeTo(1))
+	var q serve.Queue
+	// Replica 0 is heavy; replica 1 holds a computed waiting request whose
+	// drain migration targets replica 2 (routeTo(1) over the decode set
+	// [0, 2, 3] once replica 1 is draining); replica 3 carries light load.
+	cl.Replicas()[0].System().Pool().Enqueue(request.New(0, request.Summarization, 0.15, 0.1, 512, 64, 5))
+	resumed := request.New(1, request.Chat, 0.05, 0.2, 64, 8, 7)
+	resumed.Phase = request.Preempted
+	resumed.PrefillDone = resumed.PromptLen
+	cl.Replicas()[1].System().Pool().Enqueue(resumed)
+	cl.Replicas()[2].System().Pool().Enqueue(request.New(3, request.Summarization, 0.15, 0.1, 96, 16, 11))
+	cl.Replicas()[3].System().Pool().Enqueue(request.New(2, request.Chat, 0.05, 0.3, 16, 4, 9))
+
+	down, ok := cl.ScaleDown(RoleMixed, 1.0, &q)
+	if !ok || down.ID() != 1 {
+		t.Fatalf("first scale-down picked %v, want replica 1", down)
+	}
+	if cl.Replicas()[2].pendingDeliveries != 1 {
+		t.Fatalf("replica 2 pending deliveries %d, want 1", cl.Replicas()[2].pendingDeliveries)
+	}
+	// Replica 2 is the least-loaded active replica but has an in-flight
+	// inbound delivery: draining it would land the migration on a stopped
+	// replica, so the victim must be replica 3 instead.
+	down2, ok := cl.ScaleDown(RoleMixed, 1.5, &q)
+	if !ok || down2.ID() != 3 {
+		t.Fatalf("second scale-down picked %v, want replica 3 (replica 2 has a pending delivery)", down2)
+	}
+}
+
+func TestDrainMovesPlacementStats(t *testing.T) {
+	cl := elasticFake(t, 3, ElasticOptions{ColdStart: 0, InitialActive: 3}, routeTo(1))
+	var q serve.Queue
+	// Two arrivals dispatch (routeTo(1)) onto replica 1; replicas 0 and 2
+	// carry direct load so replica 1 is the drain victim.
+	cl.Replicas()[0].System().Pool().Enqueue(request.New(10, request.Summarization, 0.15, 0.1, 512, 64, 5))
+	cl.Replicas()[2].System().Pool().Enqueue(request.New(11, request.Summarization, 0.15, 0.1, 96, 16, 6))
+	for i := 0; i < 2; i++ {
+		r := request.New(i, request.Chat, 0.05, 0.2+0.1*float64(i), 16, 4, uint64(i)+1)
+		if _, err := cl.Dispatch(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.Replicas()[1].Routed() != 2 {
+		t.Fatalf("setup: replica 1 routed %d, want 2", cl.Replicas()[1].Routed())
+	}
+	down, ok := cl.ScaleDown(RoleMixed, 1.0, &q)
+	if !ok || down.ID() != 1 {
+		t.Fatalf("scale-down picked %v, want replica 1", down)
+	}
+	// Statistical ownership moved with the migrations: the drainer forgot
+	// both requests and the new target (replica 2 via routeTo(1) over the
+	// remaining prefill set [0, 2]) will count them as routed arrivals on
+	// delivery.
+	if cl.Replicas()[1].Routed() != 0 {
+		t.Fatalf("drained replica still owns %d routed requests", cl.Replicas()[1].Routed())
+	}
+	if cl.Replicas()[2].pendingDeliveries != 2 {
+		t.Fatalf("replica 2 pending deliveries %d, want 2", cl.Replicas()[2].pendingDeliveries)
+	}
+	if len(cl.admitted) != 2 {
+		t.Fatalf("admitted population %d, want 2 (drain must not change it)", len(cl.admitted))
+	}
+}
+
+// scriptedScaler is a deterministic test autoscaler: one scale-up at upAt,
+// one scale-down at downAt.
+type scriptedScaler struct {
+	cl           *Cluster
+	upAt, downAt float64
+	up, down     bool
+}
+
+func (s *scriptedScaler) OnEvent(serve.Event) {}
+
+func (s *scriptedScaler) Tick(now float64, q *serve.Queue) []serve.ScaleAction {
+	s.cl.SweepDrained()
+	var acts []serve.ScaleAction
+	if !s.up && now >= s.upAt {
+		if rep, ok := s.cl.ScaleUp(RoleMixed, now, q); ok {
+			s.up = true
+			acts = append(acts, serve.ScaleAction{Up: true, Instance: rep.ID(),
+				Role: rep.Role().String(), Policy: "scripted", Fleet: s.cl.CommittedFleet()})
+		}
+	}
+	if !s.down && now >= s.downAt {
+		if rep, ok := s.cl.ScaleDown(RoleMixed, now, q); ok {
+			s.down = true
+			acts = append(acts, serve.ScaleAction{Up: false, Instance: rep.ID(),
+				Role: rep.Role().String(), Policy: "scripted", Fleet: s.cl.CommittedFleet()})
+		}
+	}
+	return acts
+}
+
+// runScripted drives a 2-capacity elastic cluster over a trace with a
+// scale-up at 0.2s and a scale-down at 2.0s, collecting the event stream.
+func runScripted(t *testing.T) (*Cluster, *Result, []serve.Event) {
+	t.Helper()
+	cl := elasticFake(t, 2, ElasticOptions{ColdStart: 0.3, InitialActive: 1}, nil)
+	scaler := &scriptedScaler{cl: cl, upAt: 0.2, downAt: 2.0}
+	srv, err := serve.NewServer(cl, serve.Options{Autoscaler: scaler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []serve.Event
+	srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) { events = append(events, ev) }))
+	src, err := serve.NewTraceSource(mkReqs(40, 0.08, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := srv.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, cl.Results(rr, nil), events
+}
+
+func TestElasticEndToEndLifecycle(t *testing.T) {
+	cl, res, events := runScripted(t)
+
+	var ups, downs int
+	var upSeq, firstRoutedSeq = -1, -1
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case serve.ScaleUp:
+			ups++
+			upSeq = e.EventSeq()
+			if e.Action.Instance != 1 || e.Action.Fleet != 2 || e.Action.Policy != "scripted" {
+				t.Fatalf("scale-up event wrong: %+v", e.Action)
+			}
+		case serve.ScaleDown:
+			downs++
+		case serve.RequestAdmitted:
+			if e.Instance == 1 && firstRoutedSeq < 0 {
+				firstRoutedSeq = e.EventSeq()
+				// Nothing lands on replica 1 before its cold start elapses.
+				if e.Req.ArrivalTime < 0.5 {
+					t.Fatalf("request %d routed to replica 1 at t=%.2f, before activation at 0.5",
+						e.Req.ID, e.Req.ArrivalTime)
+				}
+			}
+		}
+	}
+	if ups != 1 || downs != 1 {
+		t.Fatalf("saw %d scale-ups and %d scale-downs, want 1 and 1", ups, downs)
+	}
+	if firstRoutedSeq < 0 {
+		t.Fatal("scaled-up replica never received traffic")
+	}
+	if upSeq > firstRoutedSeq {
+		t.Fatal("scale-up event delivered after the replica's first admission")
+	}
+
+	// All replicas end stopped or active with empty pools; lifecycle
+	// economics are attached and coherent.
+	for _, rep := range cl.Replicas() {
+		p := rep.System().Pool()
+		if p.NumWaiting()+p.NumRunning() != 0 {
+			t.Fatalf("replica %d finished the run with resident requests", rep.ID())
+		}
+	}
+	as := res.Summary.Autoscale
+	if as == nil {
+		t.Fatal("elastic result missing autoscale summary")
+	}
+	if as.ScaleUps != 1 || as.ScaleDowns != 1 {
+		t.Fatalf("lifecycle stats %+v, want 1 up / 1 down", as)
+	}
+	if as.MinReplicas != 1 || as.PeakReplicas != 2 {
+		t.Fatalf("fleet watermarks %d-%d, want 1-2", as.MinReplicas, as.PeakReplicas)
+	}
+	static := 2 * res.EndTime
+	if as.ReplicaSeconds <= res.EndTime || as.ReplicaSeconds >= static {
+		t.Fatalf("replica-seconds %g outside (%g, %g)", as.ReplicaSeconds, res.EndTime, static)
+	}
+	if as.Finished != 40 {
+		t.Fatalf("autoscale summary finished %d, want 40", as.Finished)
+	}
+}
+
+func TestElasticRunDeterminism(t *testing.T) {
+	_, a, _ := runScripted(t)
+	_, b, _ := runScripted(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("elastic runs with identical scripts diverged")
+	}
+}
+
+func TestStaticClusterLifecycleStats(t *testing.T) {
+	cl := fakeCluster(t, 3, nil)
+	res, err := cl.Run(mkReqs(12, 0.05, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := res.Summary.Autoscale
+	if as == nil {
+		t.Fatal("static result missing autoscale summary")
+	}
+	if as.ScaleUps != 0 || as.ScaleDowns != 0 || as.DrainMigrations != 0 {
+		t.Fatalf("static fleet reports scale activity: %+v", as)
+	}
+	if as.PeakReplicas != 3 || as.MinReplicas != 3 {
+		t.Fatalf("static watermarks %d-%d, want 3-3", as.MinReplicas, as.PeakReplicas)
+	}
+	if want := 3 * res.EndTime; as.ReplicaSeconds != want {
+		t.Fatalf("static replica-seconds %g, want size x duration = %g", as.ReplicaSeconds, want)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		StateActive: "active", StateProvisioning: "provisioning",
+		StateDraining: "draining", StateStopped: "stopped", State(9): "State(9)",
+	} {
+		if st.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}

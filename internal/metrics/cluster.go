@@ -74,6 +74,62 @@ func (t TransferStats) MeanLatency() float64 {
 	return t.Time / float64(t.Count)
 }
 
+// AutoscaleSummary reports the replica-lifecycle economics of a cluster run:
+// how much capacity the fleet consumed and what it bought. Replica-seconds —
+// the integral of committed replicas (provisioning, active or draining) over
+// simulated time — is the cost denominator; goodput and attainment per
+// replica-second are the cost-efficiency headlines the autoscaling
+// experiments compare policies on. A static cluster consumes
+// size × run-duration replica-seconds with no scale events.
+type AutoscaleSummary struct {
+	// Policy names the autoscaling policy ("static" for a fixed fleet).
+	Policy string
+	// ScaleUps/ScaleDowns count autoscaler actions (a canceled provisioning
+	// counts as a scale-down).
+	ScaleUps, ScaleDowns int
+	// DrainMigrations counts requests moved off draining replicas.
+	DrainMigrations int
+	// ReplicaSeconds is the total capacity consumed: committed replicas
+	// integrated over simulated time (provisioning cold-start time counts —
+	// the machine is paid for while the model loads).
+	ReplicaSeconds float64
+	// PeakReplicas/MinReplicas bound the committed fleet size over the run.
+	PeakReplicas, MinReplicas int
+	// Finished/Attained count retired requests (and those meeting their
+	// SLOs); GoodTokens are output tokens from attaining requests.
+	Finished, Attained int
+	GoodTokens         int
+}
+
+// GoodputPerReplicaSecond returns good output tokens per replica-second
+// consumed: the cost-normalized goodput autoscaling optimizes.
+func (a AutoscaleSummary) GoodputPerReplicaSecond() float64 {
+	if a.ReplicaSeconds <= 0 {
+		return 0
+	}
+	return float64(a.GoodTokens) / a.ReplicaSeconds
+}
+
+// AttainedPerReplicaSecond returns SLO-attaining requests per
+// replica-second consumed.
+func (a AutoscaleSummary) AttainedPerReplicaSecond() float64 {
+	if a.ReplicaSeconds <= 0 {
+		return 0
+	}
+	return float64(a.Attained) / a.ReplicaSeconds
+}
+
+// String renders the one-line lifecycle economics summary.
+func (a AutoscaleSummary) String() string {
+	policy := a.Policy
+	if policy == "" {
+		policy = "static"
+	}
+	return fmt.Sprintf("%s: %d up / %d down, %d drain migrations, fleet %d-%d, %.1f replica-s, %.2f good tok/replica-s",
+		policy, a.ScaleUps, a.ScaleDowns, a.DrainMigrations,
+		a.MinReplicas, a.PeakReplicas, a.ReplicaSeconds, a.GoodputPerReplicaSecond())
+}
+
 // ClusterSummary aggregates a multi-replica run: the cluster-wide summary
 // over every request of the trace plus one summary per replica over the
 // requests routed to it.
@@ -90,6 +146,11 @@ type ClusterSummary struct {
 	Roles []RoleStats
 	// Transfer reports the KV-handoff overhead of a disaggregated run.
 	Transfer TransferStats
+	// Autoscale reports the fleet's replica-lifecycle economics (filled for
+	// every cluster run; a static fleet shows size × duration
+	// replica-seconds and no scale events). Nil only for summaries predating
+	// elastic clusters.
+	Autoscale *AutoscaleSummary
 }
 
 // TTFTAttainment returns the cluster-wide TTFT attainment fraction.

@@ -60,8 +60,11 @@ type RollingStats struct {
 	// finished requests.
 	MeanAcceptedPerStep float64
 	// WindowFinished/WindowAttained/WindowGoodput cover requests finishing
-	// inside the trailing window.
+	// inside the trailing window; WindowTTFTAttained of them met their TTFT
+	// SLO (the responsiveness signal SLO-feedback autoscaling scales prefill
+	// capacity on).
 	WindowFinished, WindowAttained int
+	WindowTTFTAttained             int
 	WindowGoodput                  float64
 	// PerClass indexes the per-category split by request.Category.
 	PerClass [request.NumCategories]RollingClass
@@ -94,12 +97,21 @@ func (s RollingStats) WindowAttainment() float64 {
 	return float64(s.WindowAttained) / float64(s.WindowFinished)
 }
 
+// WindowTTFTAttainment returns the TTFT attainment over the trailing window.
+func (s RollingStats) WindowTTFTAttainment() float64 {
+	if s.WindowFinished == 0 {
+		return 0
+	}
+	return float64(s.WindowTTFTAttained) / float64(s.WindowFinished)
+}
+
 // finishRec is one finished request's contribution, kept until it ages out
 // of the window.
 type finishRec struct {
 	time     float64
 	cat      request.Category
 	attained bool
+	ttft     bool
 	tokens   int
 }
 
@@ -133,6 +145,7 @@ type Rolling struct {
 	recent        []finishRec
 	winFinished   int
 	winAttained   int
+	winTTFT       int
 	winGoodTokens int
 }
 
@@ -176,13 +189,15 @@ func (ro *Rolling) Finished(r *request.Request) {
 		cls.Attained++
 		cls.GoodTokens += tokens
 	}
-	if r.AttainedTTFT() {
+	ttft := r.AttainedTTFT()
+	if ttft {
 		ro.ttftAttained++
+		ro.winTTFT++
 	}
 	ro.totalSteps += r.VerifySteps
 	ro.totalAccept += r.AcceptedTokens
 
-	rec := finishRec{time: r.DoneTime, cat: r.Category, attained: attained, tokens: tokens}
+	rec := finishRec{time: r.DoneTime, cat: r.Category, attained: attained, ttft: ttft, tokens: tokens}
 	ro.insert(rec)
 	ro.winFinished++
 	cls.WindowFinished++
@@ -215,6 +230,9 @@ func (ro *Rolling) evict(now float64) {
 		cls := &ro.perClass[rec.cat]
 		ro.winFinished--
 		cls.WindowFinished--
+		if rec.ttft {
+			ro.winTTFT--
+		}
 		if rec.attained {
 			ro.winAttained--
 			ro.winGoodTokens -= rec.tokens
@@ -237,7 +255,8 @@ func (ro *Rolling) Snapshot(now float64, queued, running int) RollingStats {
 		Attained: ro.attained, TTFTAttained: ro.ttftAttained,
 		GoodTokens: ro.goodTokens, AllTokens: ro.allTokens,
 		WindowFinished: ro.winFinished, WindowAttained: ro.winAttained,
-		PerClass: ro.perClass,
+		WindowTTFTAttained: ro.winTTFT,
+		PerClass:           ro.perClass,
 	}
 	// Span and division mirror Summarize exactly, so the terminal snapshot's
 	// goodput/throughput are bit-equal to the terminal Summary's.

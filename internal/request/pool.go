@@ -111,23 +111,26 @@ func (p *Pool) Preempt(r *Request) {
 	p.sortWaiting()
 }
 
-// Remove takes a running request out of the pool without finishing it: the
-// disaggregated cluster driver migrates prefill-complete requests to a
-// decode replica this way. Unlike Preempt it neither re-enqueues nor touches
-// the request's phase or preemption count — the caller owns the request's
-// onward lifecycle.
+// Remove takes a resident (running or waiting) request out of the pool
+// without finishing it: the cluster driver migrates prefill-complete
+// requests to a decode replica this way, and drain migration moves waiting
+// requests off a draining replica. Unlike Preempt it neither re-enqueues
+// nor touches the request's phase or preemption count — the caller owns the
+// request's onward lifecycle.
 func (p *Pool) Remove(r *Request) {
-	idx := -1
 	for i, q := range p.running {
 		if q == r {
-			idx = i
-			break
+			p.running = append(p.running[:i], p.running[i+1:]...)
+			return
 		}
 	}
-	if idx < 0 {
-		panic(fmt.Sprintf("request: remove of %d not running", r.ID))
+	for i, q := range p.waiting {
+		if q == r {
+			p.waiting = append(p.waiting[:i], p.waiting[i+1:]...)
+			return
+		}
 	}
-	p.running = append(p.running[:idx], p.running[idx+1:]...)
+	panic(fmt.Sprintf("request: remove of %d not resident", r.ID))
 }
 
 // Finish moves completed running requests into done, returning how many

@@ -1,0 +1,112 @@
+package serve_test
+
+import (
+	"testing"
+
+	"adaserve/internal/serve"
+)
+
+// stubScaler counts ticks and emits one scripted action pair, verifying the
+// driver's Autoscaler contract without any cluster machinery.
+type stubScaler struct {
+	ticks   int
+	emitted bool
+	events  []serve.Event
+	lastNow float64
+}
+
+func (s *stubScaler) OnEvent(ev serve.Event) { s.events = append(s.events, ev) }
+
+func (s *stubScaler) Tick(now float64, q *serve.Queue) []serve.ScaleAction {
+	s.ticks++
+	if now < s.lastNow {
+		panic("autoscaler ticked with a non-monotone clock")
+	}
+	s.lastNow = now
+	if s.emitted || now < 0.1 {
+		return nil
+	}
+	s.emitted = true
+	return []serve.ScaleAction{
+		{Up: true, Instance: 0, Role: "mixed", Policy: "stub", Reason: "scripted", Fleet: 2},
+		{Up: false, Instance: 1, Role: "mixed", Policy: "stub", Reason: "scripted", Fleet: 1},
+	}
+}
+
+// TestAutoscalerTickAndScaleEvents wires a stub autoscaler through a real
+// single-system run: the driver must tick it at iteration boundaries,
+// subscribe it to the stream ahead of user observers, and emit its actions
+// as ScaleUp/ScaleDown events in sequence order.
+func TestAutoscalerTickAndScaleEvents(t *testing.T) {
+	scaler := &stubScaler{}
+	srv, err := serve.NewServer(serve.SingleSystem(testSystem(t, 1)), serve.Options{Autoscaler: scaler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []serve.Event
+	srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) { events = append(events, ev) }))
+	src, err := serve.NewTraceSource(mkReqs(10, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := srv.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaler.ticks == 0 {
+		t.Fatal("autoscaler never ticked")
+	}
+	// The autoscaler observes the same stream the user observer does, and
+	// its own scale events are part of it.
+	if len(scaler.events) != len(events) || len(events) != rr.Events {
+		t.Fatalf("autoscaler saw %d events, observer %d, result reports %d",
+			len(scaler.events), len(events), rr.Events)
+	}
+	var up, down int
+	lastSeq := -1
+	for _, ev := range events {
+		if ev.EventSeq() != lastSeq+1 {
+			t.Fatalf("sequence gap at %d", ev.EventSeq())
+		}
+		lastSeq = ev.EventSeq()
+		switch e := ev.(type) {
+		case serve.ScaleUp:
+			up++
+			if !e.Action.Up || e.Action.Policy != "stub" || e.Action.Fleet != 2 {
+				t.Fatalf("scale-up event carries wrong action: %+v", e.Action)
+			}
+			if e.When() < 0.1 {
+				t.Fatalf("scale-up stamped at %g, before the scripted trigger", e.When())
+			}
+		case serve.ScaleDown:
+			down++
+			if e.Action.Up {
+				t.Fatalf("scale-down event with Up action: %+v", e.Action)
+			}
+		}
+	}
+	if up != 1 || down != 1 {
+		t.Fatalf("saw %d scale-ups / %d scale-downs, want 1 / 1", up, down)
+	}
+}
+
+// TestAutoscalerAloneEnablesTracking: an autoscaler is an observer — with no
+// user observers the run still derives events for it.
+func TestAutoscalerAloneEnablesTracking(t *testing.T) {
+	scaler := &stubScaler{}
+	srv, err := serve.NewServer(serve.SingleSystem(testSystem(t, 1)), serve.Options{Autoscaler: scaler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := serve.NewTraceSource(mkReqs(5, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := srv.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scaler.events) == 0 || rr.Events == 0 {
+		t.Fatal("autoscaler-only run derived no events")
+	}
+}

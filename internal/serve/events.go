@@ -116,6 +116,23 @@ type RequestFinished struct {
 	TPOT                   float64
 }
 
+// ScaleUp reports an autoscaler decision to grow the fleet: one replica left
+// the stopped state and began provisioning (or, with a zero cold-start,
+// became active immediately). Time is the decision instant; the replica
+// starts accepting work once its cold start elapses.
+type ScaleUp struct {
+	EventMeta
+	Action ScaleAction
+}
+
+// ScaleDown reports an autoscaler decision to shrink the fleet: one replica
+// began draining (no new admissions; in-flight work finishes or migrates) or
+// had its provisioning canceled. Time is the decision instant.
+type ScaleDown struct {
+	EventMeta
+	Action ScaleAction
+}
+
 // Snapshot is the periodic rolling-metrics event: emitted every
 // Options.SnapshotEvery simulated seconds (stamped on that grid), plus one
 // final snapshot at end of run whose cumulative fields match the terminal
@@ -128,6 +145,40 @@ type Snapshot struct {
 	Stats metrics.RollingStats
 	// Final marks the end-of-run snapshot.
 	Final bool
+}
+
+// ScaleAction is one fleet-resize decision an Autoscaler took at an
+// iteration boundary. The driver wraps each action in a ScaleUp or ScaleDown
+// event so the stream carries the full replica-lifecycle history.
+type ScaleAction struct {
+	// Up discriminates growth (provision a replica) from shrink (drain one).
+	Up bool
+	// Instance is the ID of the affected serving instance.
+	Instance int
+	// Role is the affected replica's serving role ("mixed", "prefill",
+	// "decode").
+	Role string
+	// Policy names the deciding policy; Reason is its human-readable trigger
+	// (e.g. "queued 5120 tok > 2048/replica").
+	Policy, Reason string
+	// Fleet is the committed fleet size — replicas consuming capacity
+	// (provisioning, active or draining) — after the action.
+	Fleet int
+}
+
+// Autoscaler resizes the backend while a run executes. The driver subscribes
+// it to the event stream (it observes like any Observer, before user
+// observers) and calls Tick at every iteration boundary with the processed-
+// time high-water mark and the run's delivery queue; the implementation
+// paces its own decisions, actuates the backend (e.g. an elastic cluster's
+// ScaleUp/ScaleDown), schedules deferred lifecycle transitions on the queue,
+// and returns the actions it took for the driver to emit as events.
+//
+// Implementations must be deterministic and single-use, like the backends
+// they resize.
+type Autoscaler interface {
+	Observer
+	Tick(now float64, q *Queue) []ScaleAction
 }
 
 // Observer receives every event of a run. Observers registered on a Server

@@ -52,6 +52,12 @@ type Options struct {
 	// Window is the rolling-metrics trailing window for Snapshot events
 	// (0: DefaultSnapshotWindow).
 	Window float64
+	// Autoscaler, when set, resizes the backend mid-run: the driver
+	// subscribes it to the event stream ahead of user observers and calls
+	// Tick at every iteration boundary, emitting the actions it takes as
+	// ScaleUp/ScaleDown events. nil (the default) leaves the fleet static
+	// and the run byte-identical to a driver without the hook.
+	Autoscaler Autoscaler
 }
 
 // fill resolves zero values to the shared defaults.
@@ -171,6 +177,11 @@ func (s *Server) Run(src Source) (*Result, error) {
 		return nil, fmt.Errorf("serve: Server is single-use; build a fresh one per run")
 	}
 	s.ran = true
+	if as := s.opts.Autoscaler; as != nil {
+		// The autoscaler observes first: its windows reflect an event before
+		// any user observer can react to it.
+		s.observers = append([]Observer{as}, s.observers...)
+	}
 	s.tracking = len(s.observers) > 0
 	if s.tracking {
 		s.track = make(map[int]*reqTrack)
@@ -228,6 +239,7 @@ func (s *Server) Run(src Source) (*Result, error) {
 			// parks at the next event (which may or may not concern it);
 			// with no events left it can never progress: a genuine deadlock.
 			s.noteIteration(busy)
+			s.tickAutoscaler()
 			if !busy.hasWork() {
 				continue
 			}
@@ -261,6 +273,7 @@ func (s *Server) Run(src Source) (*Result, error) {
 			return nil, err
 		}
 		s.noteIteration(busy)
+		s.tickAutoscaler()
 		if busy.clock > s.opts.MaxSimTime {
 			return nil, fmt.Errorf("serve: instance %d (%s) exceeded max simulated time %.0fs",
 				busy.id, busy.sys.Name(), s.opts.MaxSimTime)
@@ -288,6 +301,22 @@ func (s *Server) Run(src Source) (*Result, error) {
 	}
 	res.Events = s.events
 	return res, nil
+}
+
+// tickAutoscaler lets the autoscaler act at an iteration boundary and emits
+// the actions it took into the event stream.
+func (s *Server) tickAutoscaler() {
+	as := s.opts.Autoscaler
+	if as == nil {
+		return
+	}
+	for _, a := range as.Tick(s.now, &s.queue) {
+		if a.Up {
+			s.emit(ScaleUp{EventMeta: s.meta(s.now), Action: a})
+		} else {
+			s.emit(ScaleDown{EventMeta: s.meta(s.now), Action: a})
+		}
+	}
 }
 
 // emit delivers one event to every observer in registration order.

@@ -13,7 +13,9 @@
 // fig15, ablations, cluster (replica scaling × router policy), disagg
 // (colocated vs prefill/decode-disaggregated fleets × router × SLO mix),
 // autoscale (equal-peak static fleet vs elastic scaling policies × arrival
-// profile × router, reporting goodput per replica-second).
+// profile × router, reporting goodput per replica-second), adaptive (static
+// AdaServe vs closed-loop speculation tuning and overload admission under a
+// flash crowd).
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 func knownExps() []string {
 	return []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg",
-		"autoscale", "hardware"}
+		"autoscale", "adaptive", "hardware"}
 }
 
 // parseExps validates the comma-separated -exp list against knownExps,
@@ -122,6 +124,9 @@ func main() {
 		if all || want["autoscale"] {
 			runAutoscale(setup, opts)
 		}
+		if all || want["adaptive"] {
+			runAdaptive(setup, opts)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
@@ -157,6 +162,17 @@ func runAutoscale(setup experiments.ModelSetup, opts experiments.RunOptions) {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderAutoscale(pts))
+	fmt.Println()
+}
+
+func runAdaptive(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Printf("\n--- Adaptive control: static vs closed-loop speculation tuning and overload admission (fleet %d, mean %.1f rps) ---\n",
+		experiments.AdaptiveFleet, experiments.AdaptiveMeanRPS(setup))
+	pts, err := experiments.AdaptiveControl(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderAdaptive(pts))
 	fmt.Println()
 }
 

@@ -28,6 +28,12 @@
 // — provisioning cold starts, drain migrations and all. -live then also
 // shows the fleet size and every scale event.
 //
+// With -adaptive a closed-loop controller retunes AdaServe's speculation
+// envelope (depth/width ceilings) from rolling acceptance and windowed SLO
+// attainment; with -admission an overload gate degrades or rejects arrivals
+// the saturated fleet provably cannot serve. The two compose (the full
+// closed loop) and -live streams every degrade/reject decision.
+//
 // Usage:
 //
 //	adaserve-sim -system AdaServe -model llama -rps 3.8 -duration 120
@@ -36,6 +42,7 @@
 //	adaserve-sim -replicas 4 -router slo-aware -live
 //	adaserve-sim -roles 2P2D -router least-loaded
 //	adaserve-sim -replicas 4 -autoscale rate-prop -rate-profile diurnal -live
+//	adaserve-sim -replicas 2 -adaptive -admission -rate-profile spike -live
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"fmt"
 	"log"
 
+	"adaserve/internal/adaptive"
 	"adaserve/internal/autoscale"
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
@@ -92,6 +100,22 @@ func resolveAutoscale(name string, replicas int) (autoscale.Policy, error) {
 	return policy, nil
 }
 
+// resolveAdaptive maps the -adaptive/-admission pair to a controller config:
+// nil when both are off, tuning-only or admission-only when one is set, the
+// full closed loop when both are. Timing follows the adaptive experiment's
+// duration-proportional cadence.
+func resolveAdaptive(tuning, admission bool, duration float64) *adaptive.Config {
+	if !tuning && !admission {
+		return nil
+	}
+	return &adaptive.Config{
+		Interval:         experiments.AdaptiveInterval(duration),
+		Window:           experiments.AutoscaleWindow(duration),
+		DisableTuning:    !tuning,
+		DisableAdmission: !admission,
+	}
+}
+
 func main() {
 	system := flag.String("system", "AdaServe", "serving system name (AdaServe, vLLM, Sarathi-Serve, vLLM-Spec (4|6|8), vLLM + Priority, FastServe, VTC, AdaServe (interleaved))")
 	model := flag.String("model", "llama", "model setup: llama or qwen")
@@ -103,6 +127,8 @@ func main() {
 	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware")
 	rolesFlag := flag.String("roles", "", "disaggregated role split, e.g. 2P2D (implies the replica count)")
 	autoscaleFlag := flag.String("autoscale", "", "elastic-fleet scaling policy: target-queue, rate-prop, slo-feedback (empty: static fleet)")
+	adaptiveFlag := flag.Bool("adaptive", false, "close the loop: retune the speculation envelope from rolling acceptance and attainment (AdaServe only)")
+	admissionFlag := flag.Bool("admission", false, "arm the overload gate: degrade or reject arrivals a saturated fleet cannot serve")
 	profile := flag.String("rate-profile", "", "open-loop arrival shape: constant, ramp, spike, diurnal (empty: closed trace replay)")
 	live := flag.Bool("live", false, "stream periodic rolling-metric snapshots and SLO-violation events")
 	snapEvery := flag.Float64("snapshot-every", 5, "simulated seconds between -live snapshots")
@@ -243,6 +269,26 @@ func main() {
 		fmt.Printf("autoscale: %s policy over a %d-replica capacity fleet (cold start %.1fs, decisions every %.1fs)\n",
 			policy.Name(), *replicas, experiments.AutoscaleColdStart(*duration), experiments.AutoscaleInterval(*duration))
 	}
+	var actrl *adaptive.Controller
+	if cfg := resolveAdaptive(*adaptiveFlag, *admissionFlag, *duration); cfg != nil {
+		actrl, err = adaptive.New(backend, *cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts := ""
+		if *adaptiveFlag {
+			parts = "speculation tuning"
+		}
+		if *admissionFlag {
+			if parts != "" {
+				parts += " + "
+			}
+			parts += "overload admission"
+		}
+		fmt.Printf("adaptive: %s (retune every %.1fs, %.1fs windows)\n",
+			parts, cfg.Interval, cfg.Window)
+		opts.Adaptive = actrl
+	}
 	srv, err := serve.NewServer(backend, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -264,6 +310,10 @@ func main() {
 		if policy != nil {
 			res.Summary.Autoscale.Policy = policy.Name()
 		}
+		if actrl != nil {
+			asum := actrl.Summary()
+			res.Summary.Admission = &asum
+		}
 		printCluster(res, *replicas)
 		return
 	}
@@ -272,6 +322,9 @@ func main() {
 		reqs = sys.Pool().Done()
 	}
 	printSingle(metrics.Summarize(sys.Name(), reqs, rr.Breakdown), rr)
+	if actrl != nil {
+		fmt.Println(actrl.Summary().String())
+	}
 }
 
 // liveEvent renders the -live stream: one line per rolling-metric snapshot
@@ -301,6 +354,12 @@ func liveEvent(ev serve.Event, cl *cluster.Cluster) {
 	case serve.SLOViolated:
 		fmt.Printf("[viol t=%7.1fs] request %d (%s) missed its %s SLO\n",
 			e.Time, e.Req.ID, e.Req.Category, e.Kind)
+	case serve.RequestRejected:
+		fmt.Printf("[admt t=%7.1fs] request %d (%s) rejected: %s\n",
+			e.Time, e.Req.ID, e.Req.Category, e.Reason)
+	case serve.RequestDegraded:
+		fmt.Printf("[admt t=%7.1fs] request %d degraded %s -> %s: %s\n",
+			e.Time, e.Req.ID, e.From, e.To, e.Reason)
 	case serve.ScaleUp:
 		fmt.Printf("[scal t=%7.1fs] +replica %d (%s): %s -> fleet %d\n",
 			e.Time, e.Action.Instance, e.Action.Role, e.Action.Reason, e.Action.Fleet)
@@ -367,6 +426,9 @@ func printCluster(res *cluster.Result, n int) {
 	}
 	if s.Autoscale != nil && s.Autoscale.Policy != "" {
 		fmt.Printf("autoscale %s\n", s.Autoscale)
+	}
+	if s.Admission != nil {
+		fmt.Println(s.Admission.String())
 	}
 	fmt.Printf("simulated: %.1fs over %d iterations across %d replicas\n", res.EndTime, res.Iterations, n)
 }

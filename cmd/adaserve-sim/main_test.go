@@ -50,6 +50,42 @@ func TestResolveFleet(t *testing.T) {
 	}
 }
 
+// TestResolveAdaptive is the -adaptive/-admission mapping table: both off
+// means no controller, and each flag disables exactly the other half of the
+// closed loop.
+func TestResolveAdaptive(t *testing.T) {
+	cases := []struct {
+		name              string
+		tuning, admission bool
+		wantNil           bool
+		wantNoTuning      bool
+		wantNoAdmission   bool
+	}{
+		{name: "both off", wantNil: true},
+		{name: "tuning only", tuning: true, wantNoAdmission: true},
+		{name: "admission only", admission: true, wantNoTuning: true},
+		{name: "full closed loop", tuning: true, admission: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := resolveAdaptive(c.tuning, c.admission, 120)
+			if (cfg == nil) != c.wantNil {
+				t.Fatalf("cfg = %+v, wantNil = %v", cfg, c.wantNil)
+			}
+			if cfg == nil {
+				return
+			}
+			if cfg.DisableTuning != c.wantNoTuning || cfg.DisableAdmission != c.wantNoAdmission {
+				t.Fatalf("cfg = %+v, want DisableTuning=%v DisableAdmission=%v",
+					cfg, c.wantNoTuning, c.wantNoAdmission)
+			}
+			if cfg.Interval != experiments.AdaptiveInterval(120) || cfg.Window != experiments.AutoscaleWindow(120) {
+				t.Fatalf("cfg timing %+v does not follow the experiment cadence", cfg)
+			}
+		})
+	}
+}
+
 // TestFleetString covers the -live fleet renderer across lifecycle states.
 func TestFleetString(t *testing.T) {
 	cl, err := experiments.BuildElasticCluster(experiments.SysAdaServe, experiments.Llama70B(),

@@ -1,6 +1,9 @@
 // adaserve-trace synthesizes and inspects the evaluation's arrival traces:
 // the Figure 7 real-world shape and the Figure 13 synthetic per-category
-// trace. It prints per-bin counts as CSV for plotting.
+// trace. It prints per-bin counts as CSV for plotting. Invalid invocations
+// — an unknown kind, stray positional arguments, or a non-positive rate,
+// duration or bin width (which would silently produce an empty CSV) — exit
+// non-zero with a one-line error.
 //
 // Usage:
 //
@@ -11,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"adaserve/internal/mathutil"
 	"adaserve/internal/workload"
@@ -25,35 +30,58 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
-	rng := mathutil.NewRNG(*seed)
-	switch *kind {
+	if err := run(os.Stdout, *kind, *rps, *duration, *bin, *seed, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run validates the flag set and writes the requested trace CSV. It is the
+// whole CLI behind flag parsing, so the validation table is testable without
+// spawning a process.
+func run(w io.Writer, kind string, rps, duration, bin float64, seed uint64, args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected argument %q (adaserve-trace takes only flags: -kind, -rps, -duration, -bin, -seed)", args[0])
+	}
+	if rps <= 0 {
+		return fmt.Errorf("-rps %g: need a positive rate", rps)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration %g: need a positive duration", duration)
+	}
+	if bin <= 0 || bin > duration {
+		return fmt.Errorf("-bin %g: need a bin width in (0, duration]", bin)
+	}
+
+	rng := mathutil.NewRNG(seed)
+	switch kind {
 	case "real":
-		ts := workload.RealTrace(rng, *rps, *duration)
-		fmt.Printf("# real trace: %d arrivals, mean %.2f rps\n",
-			len(ts), float64(len(ts))/(*duration))
-		fmt.Println("time_s,requests")
-		for i, c := range workload.BinCounts(ts, *duration, *bin) {
-			fmt.Printf("%.0f,%d\n", float64(i)*(*bin), c)
+		ts := workload.RealTrace(rng, rps, duration)
+		fmt.Fprintf(w, "# real trace: %d arrivals, mean %.2f rps\n",
+			len(ts), float64(len(ts))/duration)
+		fmt.Fprintln(w, "time_s,requests")
+		for i, c := range workload.BinCounts(ts, duration, bin) {
+			fmt.Fprintf(w, "%.0f,%d\n", float64(i)*bin, c)
 		}
 	case "synthetic":
-		perCat := workload.SyntheticCategoryTrace(rng, *rps, *duration)
+		perCat := workload.SyntheticCategoryTrace(rng, rps, duration)
 		names := []string{"coding", "chat", "summarization"}
-		fmt.Println("time_s,coding,chat,summarization")
+		fmt.Fprintln(w, "time_s,coding,chat,summarization")
 		bins := make([][]int, len(perCat))
 		for i, ts := range perCat {
-			bins[i] = workload.BinCounts(ts, *duration, *bin)
+			bins[i] = workload.BinCounts(ts, duration, bin)
 		}
 		for j := range bins[0] {
-			fmt.Printf("%.0f", float64(j)*(*bin))
+			fmt.Fprintf(w, "%.0f", float64(j)*bin)
 			for i := range bins {
-				fmt.Printf(",%d", bins[i][j])
+				fmt.Fprintf(w, ",%d", bins[i][j])
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		for i, ts := range perCat {
-			fmt.Printf("# %s: %d arrivals\n", names[i], len(ts))
+			fmt.Fprintf(w, "# %s: %d arrivals\n", names[i], len(ts))
 		}
 	default:
-		log.Fatalf("unknown trace kind %q", *kind)
+		return fmt.Errorf("unknown trace kind %q (real, synthetic)", kind)
 	}
+	return nil
 }

@@ -4,6 +4,11 @@
 // configuration wastes draft compute at high load and under-speculates at
 // low load.
 //
+// The last section closes the loop at runtime: a controller subscribed to
+// the serving event stream retunes the envelope the per-iteration law works
+// within, and an admission gate sheds the part of a flash crowd the fleet
+// provably cannot serve — degrading first, rejecting only at saturation.
+//
 // Run with: go run ./examples/adaptive
 package main
 
@@ -11,12 +16,16 @@ import (
 	"fmt"
 	"log"
 
+	"adaserve/internal/adaptive"
+	"adaserve/internal/cluster"
 	"adaserve/internal/core"
 	"adaserve/internal/experiments"
 	"adaserve/internal/gpu"
 	"adaserve/internal/mathutil"
+	"adaserve/internal/metrics"
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
+	"adaserve/internal/serve"
 	"adaserve/internal/sim"
 	"adaserve/internal/workload"
 )
@@ -76,4 +85,67 @@ func main() {
 	run("adaptive (Eq. 8-9)", experiments.BuildOptions{Seed: 1})
 	run("static d=2 w=1", experiments.BuildOptions{Seed: 1, StaticD: 2, StaticW: 1})
 	run("static d=8 w=4", experiments.BuildOptions{Seed: 1, StaticD: 8, StaticW: 4})
+
+	// 3. The closed loop at runtime: a two-replica fleet under a flash crowd
+	//    (spike profile, burst ~5.6x the mean), with and without the
+	//    controller gating admission and retuning the envelope ceilings.
+	const duration = 30.0
+	mean := experiments.AdaptiveMeanRPS(setup)
+	fmt.Printf("\nflash crowd on a %d-replica fleet (mean %.1f rps, spike burst):\n",
+		experiments.AdaptiveFleet, mean)
+	closed := func(name string, cfg *adaptive.Config) {
+		rate, maxRate, err := workload.RateProfile("spike", mean, duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen2, err := experiments.NewGenerator(setup, workload.DefaultMix, 1.0, mathutil.Hash2(1, 0xada))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := serve.NewOpenLoop(gen2, mathutil.NewRNG(mathutil.Hash2(1, 0x7a)), rate, maxRate, duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := experiments.BuildCluster(experiments.SysAdaServe, setup,
+			experiments.AdaptiveFleet, experiments.AdaptiveRouter, experiments.BuildOptions{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := serve.Options{}
+		var actrl *adaptive.Controller
+		if cfg != nil {
+			if actrl, err = adaptive.New(cl, *cfg); err != nil {
+				log.Fatal(err)
+			}
+			opts.Adaptive = actrl
+		}
+		srv, err := serve.NewServer(cl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := srv.Run(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res2sum(cl, rr)
+		fmt.Printf("%-22s attainment %5.1f%%, goodput %5.0f tok/s, max TTFT %.2fs",
+			name, 100*s.Attainment(), s.Goodput(), s.Aggregate.MaxTTFT)
+		if actrl != nil {
+			a := actrl.Summary()
+			d, w := actrl.Envelope()
+			fmt.Printf("  (%d degraded, %d rejected; envelope d<=%d w<=%d)", a.Degraded, a.Rejected, d, w)
+		}
+		fmt.Println()
+	}
+	closed("static", nil)
+	cfg, err := experiments.AdaptiveConfig("adaptive+admission", duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	closed("closed loop + gate", cfg)
+}
+
+// res2sum aggregates a cluster run over its admitted requests.
+func res2sum(cl *cluster.Cluster, rr *serve.Result) *metrics.ClusterSummary {
+	return cl.Results(rr, nil).Summary
 }

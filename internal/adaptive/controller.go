@@ -1,0 +1,345 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
+	"adaserve/internal/serve"
+)
+
+// SpecTunable is a serving system whose speculation envelope the controller
+// can actuate at runtime. sched.AdaServe implements it.
+type SpecTunable interface {
+	// SpecEnvelope returns the current depth and width ceilings.
+	SpecEnvelope() (dmax, wmax int)
+	// ClampSpecEnvelope retunes the ceilings, clipped to the system's
+	// constructed bounds.
+	ClampSpecEnvelope(dmax, wmax int)
+}
+
+// Fleet is the optional replica-lifecycle view an elastic backend exposes
+// (*cluster.Cluster implements it): how many replicas serve traffic now
+// versus how many consume capacity. Backends without it (single systems,
+// static clusters) count every instance as active.
+type Fleet interface {
+	ActiveServing() int
+	CommittedFleet() int
+}
+
+// classRec is one finished request's contribution to the per-class
+// windows, kept until it ages out.
+type classRec struct {
+	time     float64
+	cat      request.Category
+	steps    int
+	accepted int
+	attained bool
+}
+
+// classWin accumulates one class's windowed signals.
+type classWin struct {
+	finished int
+	attained int
+	steps    int
+	accepted int
+}
+
+// signals materializes the class's windowed view.
+func (w classWin) signals() ClassSignals {
+	sig := ClassSignals{Finished: w.finished}
+	if w.steps > 0 {
+		sig.Acceptance = float64(w.accepted) / float64(w.steps)
+	}
+	if w.finished > 0 {
+		sig.Attainment = float64(w.attained) / float64(w.finished)
+	}
+	return sig
+}
+
+// Controller implements serve.AdmissionController: wire it into a run via
+// serve.Options.Adaptive. It observes the event stream through per-class
+// rolling windows, retunes every tunable system's speculation envelope at
+// each interval-grid instant, and gates every arrival against the fleet's
+// saturation signals. All decisions happen at deterministic instants in
+// event-time order, so runs are reproducible under a fixed seed.
+//
+// Like the backends it controls, a Controller is single-use.
+type Controller struct {
+	cfg   Config
+	insts []*serve.Instance
+	tuned []SpecTunable
+	fleet Fleet
+
+	next float64
+
+	// Per-class finish windows (recs sorted by finish time; wins maintained
+	// on insert and evict).
+	recs []classRec
+	wins [request.NumCategories]classWin
+
+	// Offered-load window: every gated arrival's timestamp, head-indexed.
+	arrivals []float64
+	head     int
+
+	// Capacity calibration: finishes and prompt tokens are counted between
+	// ticks; the peak observed per-replica rate estimates sustainable
+	// capacity (underestimating capacity only over-gates, so the peak is
+	// the safe side for the unmeetable-TTFT proof: a HIGHER assumed rate
+	// condemns FEWER requests).
+	finishedSinceTick int
+	promptSinceTick   int
+	lastTick          float64
+	serviceRate       float64
+	prefillRate       float64
+
+	// Current actuated envelope (the constructed ceilings until the first
+	// calibrated retune).
+	curD, curW int
+
+	sum metrics.AdmissionSummary
+}
+
+// New builds a controller over a backend's instances. Unless tuning is
+// disabled, at least one instance's system must be SpecTunable (AdaServe);
+// envelope bounds left zero resolve to the first tunable system's
+// constructed ceilings. If the backend is a Fleet (elastic cluster), the
+// gate normalizes saturation by its live active-replica count.
+func New(backend serve.Backend, cfg Config) (*Controller, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("adaptive: backend required")
+	}
+	insts := backend.Instances()
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("adaptive: backend has no instances")
+	}
+	var tuned []SpecTunable
+	for _, in := range insts {
+		if t, ok := in.System().(SpecTunable); ok {
+			tuned = append(tuned, t)
+		}
+	}
+	if !cfg.DisableTuning && len(tuned) == 0 {
+		return nil, fmt.Errorf("adaptive: no tunable system (speculation tuning needs AdaServe; set DisableTuning for admission-only control)")
+	}
+	if len(tuned) > 0 {
+		d, w := tuned[0].SpecEnvelope()
+		if cfg.DepthMax == 0 {
+			cfg.DepthMax = d
+		}
+		if cfg.WidthMax == 0 {
+			cfg.WidthMax = w
+		}
+	}
+	// Admission-only controllers over non-tunable backends never actuate the
+	// envelope; default the unresolved bounds so validation stays meaningful.
+	if cfg.DepthMax == 0 {
+		cfg.DepthMax = 8
+	}
+	if cfg.WidthMax == 0 {
+		cfg.WidthMax = 4
+	}
+	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fleet, _ := backend.(Fleet)
+	c := &Controller{
+		cfg:   cfg,
+		insts: insts,
+		tuned: tuned,
+		fleet: fleet,
+		next:  cfg.Interval,
+		curD:  cfg.DepthMax,
+		curW:  cfg.WidthMax,
+	}
+	return c, nil
+}
+
+// Config returns the resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Envelope returns the currently actuated speculation ceilings.
+func (c *Controller) Envelope() (dmax, wmax int) { return c.curD, c.curW }
+
+// Summary returns the admission rollup so far.
+func (c *Controller) Summary() metrics.AdmissionSummary { return c.sum }
+
+// OnEvent implements serve.Observer: request finishes feed the per-class
+// windows and the capacity calibration.
+func (c *Controller) OnEvent(ev serve.Event) {
+	e, ok := ev.(serve.RequestFinished)
+	if !ok {
+		return
+	}
+	r := e.Req
+	rec := classRec{
+		time: r.DoneTime, cat: r.Category,
+		steps: r.VerifySteps, accepted: r.AcceptedTokens,
+		attained: e.Attained,
+	}
+	// Insert sorted by finish time (stable: equal times append after, so
+	// eviction order is deterministic).
+	at := len(c.recs)
+	for at > 0 && c.recs[at-1].time > rec.time {
+		at--
+	}
+	c.recs = append(c.recs, classRec{})
+	copy(c.recs[at+1:], c.recs[at:])
+	c.recs[at] = rec
+	w := &c.wins[rec.cat]
+	w.finished++
+	w.steps += rec.steps
+	w.accepted += rec.accepted
+	if rec.attained {
+		w.attained++
+	}
+	c.finishedSinceTick++
+	c.promptSinceTick += r.PromptLen
+}
+
+// evict drops window entries older than now − Window.
+func (c *Controller) evict(now float64) {
+	cutoff := now - c.cfg.Window
+	for len(c.recs) > 0 && c.recs[0].time < cutoff {
+		rec := c.recs[0]
+		c.recs = c.recs[1:]
+		w := &c.wins[rec.cat]
+		w.finished--
+		w.steps -= rec.steps
+		w.accepted -= rec.accepted
+		if rec.attained {
+			w.attained--
+		}
+	}
+	for c.head < len(c.arrivals) && c.arrivals[c.head] < cutoff {
+		c.head++
+	}
+	if c.head > len(c.arrivals)/2 {
+		c.arrivals = append(c.arrivals[:0], c.arrivals[c.head:]...)
+		c.head = 0
+	}
+}
+
+// billed returns the capacity-consuming replica count (calibration
+// denominator).
+func (c *Controller) billed() int {
+	if c.fleet != nil {
+		return c.fleet.CommittedFleet()
+	}
+	return len(c.insts)
+}
+
+// Tick implements serve.AdmissionController: between grid instants it does
+// nothing; at each grid instant it recalibrates capacity and retunes every
+// tunable system's speculation envelope.
+func (c *Controller) Tick(now float64) {
+	if now < c.next {
+		return
+	}
+	for c.next <= now {
+		c.next += c.cfg.Interval
+	}
+	// Calibrate: peak observed per-replica rates since the last tick.
+	if dt := now - c.lastTick; dt > 0 {
+		if b := c.billed(); b > 0 {
+			if rate := float64(c.finishedSinceTick) / dt / float64(b); rate > c.serviceRate {
+				c.serviceRate = rate
+			}
+			if rate := float64(c.promptSinceTick) / dt / float64(b); rate > c.prefillRate {
+				c.prefillRate = rate
+			}
+		}
+	}
+	c.finishedSinceTick = 0
+	c.promptSinceTick = 0
+	c.lastTick = now
+
+	if c.cfg.DisableTuning {
+		return
+	}
+	c.evict(now)
+	// Each class with windowed traffic proposes an envelope; the fleet gets
+	// the widest proposal (max is monotone in every class's signals, so the
+	// per-class monotonicity law lifts to the actuated envelope). With no
+	// calibrated class the constructed envelope stands.
+	d, w, calibrated := c.cfg.DepthMin, c.cfg.WidthMin, false
+	for cat := 0; cat < request.NumCategories; cat++ {
+		win := c.wins[cat]
+		if win.finished == 0 {
+			continue
+		}
+		cd, cw := c.cfg.Envelope(win.signals())
+		if cd > d {
+			d = cd
+		}
+		if cw > w {
+			w = cw
+		}
+		calibrated = true
+	}
+	if !calibrated {
+		d, w = c.cfg.DepthMax, c.cfg.WidthMax
+	}
+	c.curD, c.curW = d, w
+	for _, t := range c.tuned {
+		t.ClampSpecEnvelope(d, w)
+	}
+}
+
+// signals assembles the live saturation view for one admission decision.
+func (c *Controller) signals(now float64) Signals {
+	c.evict(now)
+	queued, backlog := 0, 0
+	for _, in := range c.insts {
+		p := in.System().Pool()
+		for _, r := range p.Waiting() {
+			queued++
+			backlog += r.RemainingPrefill()
+		}
+		for _, r := range p.Running() {
+			backlog += r.RemainingPrefill()
+		}
+	}
+	active, committed := len(c.insts), len(c.insts)
+	if c.fleet != nil {
+		active, committed = c.fleet.ActiveServing(), c.fleet.CommittedFleet()
+	}
+	span := c.cfg.Window
+	if now < span {
+		span = now
+	}
+	rate := 0.0
+	if span > 0 {
+		rate = float64(len(c.arrivals)-c.head) / span
+	}
+	return Signals{
+		Queued: queued, Active: active, Committed: committed,
+		ArrivalRate: rate, ServiceRate: c.serviceRate,
+		PrefillBacklog: backlog, PrefillRate: c.prefillRate,
+	}
+}
+
+// Decide implements serve.AdmissionController: it records the offered
+// arrival, evaluates the pure admission law against live signals, and
+// applies the outcome (degrading the request in place when admitted at
+// reduced service).
+func (c *Controller) Decide(r *request.Request) (serve.AdmissionDecision, string) {
+	c.arrivals = append(c.arrivals, r.ArrivalTime)
+	original := r.Category
+	if c.cfg.DisableAdmission {
+		c.sum.Add(original, true, false, false)
+		return serve.AdmissionAdmit, ""
+	}
+	dec, reason := c.cfg.Decide(c.signals(r.ArrivalTime), r)
+	switch dec {
+	case serve.AdmissionReject:
+		c.sum.Add(original, false, false, true)
+	case serve.AdmissionDegrade:
+		r.Degrade(c.cfg.BestEffortTPOT)
+		c.sum.Add(original, false, true, false)
+	default:
+		c.sum.Add(original, true, false, false)
+	}
+	return dec, reason
+}

@@ -126,6 +126,20 @@ func (c *Cluster) Elastic() bool { return c.elastic }
 // ColdStart returns the provisioning delay of an elastic cluster.
 func (c *Cluster) ColdStart() float64 { return c.coldStart }
 
+// ActiveServing counts replicas currently serving traffic (StateActive):
+// the capacity denominator admission gates normalize queue depth by. While
+// a scaled-up replica provisions, CommittedFleet − ActiveServing is the
+// cold-start gap the gate covers.
+func (c *Cluster) ActiveServing() int {
+	n := 0
+	for _, rep := range c.replicas {
+		if rep.state == StateActive {
+			n++
+		}
+	}
+	return n
+}
+
 // CommittedFleet counts replicas consuming capacity: provisioning, active
 // or draining.
 func (c *Cluster) CommittedFleet() int {

@@ -316,22 +316,29 @@ func (e *Engine) SpeculateBeams(reqs []*request.Request, d, w int) (*SpeculateRe
 	}
 	maxSteps := 0
 	totalKV := 0
+	n := 0 // requests actually speculating (NoSpec ones keep root-only trees)
 	for i, r := range reqs {
 		t := getTree(r)
+		res.Trees[i] = t
+		if r.NoSpec {
+			// Degraded request: no draft expansion, no share of the batched
+			// draft cost. Its root-only tree flows through selection and
+			// verification unchanged, committing one correction token.
+			continue
+		}
 		steps, draftTokens, err := e.beam.Search(t, e.draft, d, w)
 		if err != nil {
 			return nil, fmt.Errorf("engine: beam search for request %d: %w", r.ID, err)
 		}
-		res.Trees[i] = t
 		res.DraftTokens += draftTokens
 		if steps > maxSteps {
 			maxSteps = steps
 		}
 		totalKV += r.ContextLen()
+		n++
 	}
 	// Cost: step 1 processes n root tokens; steps 2..d process n·w beam
-	// tokens each, batched across requests.
-	n := len(reqs)
+	// tokens each, batched across the speculating requests.
 	for step := 1; step <= maxSteps; step++ {
 		tokens := n
 		if step > 1 {

@@ -40,6 +40,14 @@ type goldenRow struct {
 	TransferBytes  float64 `json:"transferBytes,omitempty"`
 	PrefillTTFTAtt float64 `json:"prefillTTFTAtt,omitempty"`
 	DecodeTPOTAtt  float64 `json:"decodeTPOTAtt,omitempty"`
+
+	// Adaptive-grid columns (zero and omitted for every other experiment,
+	// so adding them left bench.json byte-identical).
+	Config   string  `json:"config,omitempty"`
+	Profile  string  `json:"profile,omitempty"`
+	MaxTTFT  float64 `json:"maxTTFT,omitempty"`
+	Degraded int     `json:"degraded,omitempty"`
+	Rejected int     `json:"rejected,omitempty"`
 }
 
 // goldenOpts is the tiny fixed-seed grid: short enough for CI, long enough
@@ -104,21 +112,17 @@ func goldenGrid(t *testing.T) []goldenRow {
 	return rows
 }
 
-// TestGoldenBenchGrid replays the fixture grid and compares the marshaled
-// result byte-for-byte against the committed fixture. Any intentional
-// behavior change must regenerate the fixture with -update and justify the
-// diff in review; any unintentional drift — a determinism break, an
-// accidental semantic change to a scheduler, router or the migration path —
-// fails here first.
-func TestGoldenBenchGrid(t *testing.T) {
-	rows := goldenGrid(t)
+// compareGolden marshals rows and compares them byte-for-byte against the
+// named fixture (or rewrites it under -update).
+func compareGolden(t *testing.T, name string, rows []goldenRow) {
+	t.Helper()
 	got, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	got = append(got, '\n')
 
-	path := filepath.Join("testdata", "golden", "bench.json")
+	path := filepath.Join("testdata", "golden", name)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -146,4 +150,46 @@ func TestGoldenBenchGrid(t *testing.T) {
 		t.Fatalf("golden mismatch: output has %d lines, fixture %d (regenerate with -update if intentional)",
 			len(gl), len(wl))
 	}
+}
+
+// TestGoldenBenchGrid replays the fixture grid and compares the marshaled
+// result byte-for-byte against the committed fixture. Any intentional
+// behavior change must regenerate the fixture with -update and justify the
+// diff in review; any unintentional drift — a determinism break, an
+// accidental semantic change to a scheduler, router or the migration path —
+// fails here first.
+func TestGoldenBenchGrid(t *testing.T) {
+	compareGolden(t, "bench.json", goldenGrid(t))
+}
+
+// TestGoldenAdaptiveGrid pins the flash-crowd sweep the same way: the
+// static row certifies the controller-off path still replays the exact
+// baseline trajectory, and the adaptive rows pin every gate decision — a
+// changed degrade/reject count is a semantic change to the admission law
+// and must be justified alongside a fixture regeneration.
+func TestGoldenAdaptiveGrid(t *testing.T) {
+	// Longer than goldenOpts so the spike genuinely saturates the fleet and
+	// the fixture pins non-trivial degrade/reject counts; still sub-second.
+	pts, err := AdaptiveControl(Llama70B(), RunOptions{Seed: 1, Duration: 24, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []goldenRow
+	for _, p := range pts {
+		s := p.Sum
+		row := goldenRow{
+			Experiment: "adaptive", Config: p.Config, Profile: p.Profile,
+			Requests: s.Aggregate.Requests, Finished: s.Aggregate.Finished,
+			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
+			Goodput: s.Goodput(), Throughput: s.Aggregate.Throughput,
+			MeanAccepted: s.Aggregate.MeanAcceptedPerStep, P99TPOT: s.Aggregate.P99TPOT(),
+			MaxTTFT: s.Aggregate.MaxTTFT,
+		}
+		if s.Admission != nil {
+			row.Degraded = s.Admission.Degraded
+			row.Rejected = s.Admission.Rejected
+		}
+		rows = append(rows, row)
+	}
+	compareGolden(t, "adaptive.json", rows)
 }

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adaserve/internal/metrics"
+)
+
+// renderSum builds a small but non-degenerate cluster summary for the
+// render tests: enough populated fields that every column formats a real
+// number instead of a guard-path zero.
+func renderSum(requests, attained int, goodput float64) *metrics.ClusterSummary {
+	return &metrics.ClusterSummary{
+		Aggregate: &metrics.Summary{
+			Requests: requests, Attained: attained, TTFTAttained: attained,
+			Goodput: goodput,
+		},
+		Replicas: []*metrics.Summary{
+			{Requests: requests - requests/3},
+			{Requests: requests / 3},
+		},
+		Transfer: metrics.TransferStats{Count: 5, Bytes: 1e9, Time: 0.1},
+		Autoscale: &metrics.AutoscaleSummary{
+			GoodTokens: int(goodput * 10), ReplicaSeconds: 20,
+			ScaleUps: 2, ScaleDowns: 1,
+		},
+	}
+}
+
+func TestRenderAutoscale(t *testing.T) {
+	pts := []AutoscalePoint{
+		{Config: "static", Profile: "spike", Router: "round-robin", Sum: renderSum(90, 60, 500)},
+		{Config: "target-queue", Profile: "spike", Router: "round-robin", Sum: renderSum(90, 80, 620)},
+		{Config: "static", Profile: "diurnal", Router: "least-loaded", Sum: renderSum(120, 100, 550)},
+	}
+	out := RenderAutoscale(pts)
+	for _, want := range []string{
+		"== profile spike ==", "== profile diurnal ==",
+		"round-robin", "least-loaded", "static", "target-queue",
+		"goodput / replica-second", "attainment %", "replica-seconds", "scale events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// 620 good tokens/s over 20 replica-seconds of a 10s-normalized run.
+	if !strings.Contains(out, "310.00") {
+		t.Fatalf("goodput-per-replica-second cell missing:\n%s", out)
+	}
+}
+
+func TestRenderClusterScaling(t *testing.T) {
+	pts := []ClusterPoint{
+		{Replicas: 4, Router: "slo-aware", Sum: renderSum(100, 75, 400)},
+		{Replicas: 1, Router: "slo-aware", Sum: renderSum(25, 20, 110)},
+		{Replicas: 1, Router: "round-robin", Sum: renderSum(25, 15, 90)},
+	}
+	out := RenderClusterScaling(pts)
+	for _, want := range []string{"replicas", "slo-aware", "round-robin", "attainment %", "goodput tok/s", "request imbalance", "75.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Replica counts must render sorted regardless of point order.
+	if strings.Index(out, "\n1 ") > strings.Index(out, "\n4 ") {
+		t.Fatalf("replica rows not sorted:\n%s", out)
+	}
+}
+
+func TestRenderDisagg(t *testing.T) {
+	pts := []DisaggPoint{
+		{Split: "3p1d", Router: "slo-aware", Mix: "default", Sum: renderSum(80, 70, 480)},
+		{Split: "2p2d", Router: "slo-aware", Mix: "default", Sum: renderSum(80, 64, 510)},
+		{Split: "3p1d", Router: "least-loaded", Mix: "prefill-heavy", Sum: renderSum(60, 40, 300)},
+	}
+	out := RenderDisagg(pts)
+	for _, want := range []string{
+		"== mix default ==", "== mix prefill-heavy ==",
+		"3p1d", "2p2d", "TTFT attainment %", "TPOT attainment %",
+		"goodput tok/s", "KV transfer mean ms", "20.00",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	for _, k := range KnownSystems() {
+		got, err := ParseSystem(string(k))
+		if err != nil || got != k {
+			t.Fatalf("ParseSystem(%q) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseSystem("no-such-system"); err == nil || !strings.Contains(err.Error(), "unknown system") {
+		t.Fatalf("typo accepted: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+
+	"adaserve/internal/request"
+)
+
+// AdmissionClass is one SLO class's share of an admission summary, keyed by
+// the category the requests ARRIVED with (degraded requests count under
+// their original class, which is the contract the gate relaxed).
+type AdmissionClass struct {
+	Offered, Admitted, Degraded, Rejected int
+}
+
+// AdmissionSummary reports what an overload admission gate did to a run's
+// offered load. Every offered request lands in exactly one bucket:
+// Offered = Admitted + Degraded + Rejected. Degraded requests enter the
+// serving system (at best-effort service), so Admitted + Degraded is the
+// population the serving-side Summary aggregates over; Rejected requests
+// never reach a pool.
+type AdmissionSummary struct {
+	// Offered counts every arrival presented to the gate.
+	Offered int
+	// Admitted were served as submitted; Degraded were admitted at
+	// best-effort service (relaxed class, speculation disabled); Rejected
+	// were turned away.
+	Admitted, Degraded, Rejected int
+	// PerClass splits the counters by original request category.
+	PerClass [request.NumCategories]AdmissionClass
+}
+
+// Add merges one decision into the summary (helper for controllers).
+func (a *AdmissionSummary) Add(original request.Category, admitted, degraded, rejected bool) {
+	cls := &a.PerClass[original]
+	a.Offered++
+	cls.Offered++
+	switch {
+	case rejected:
+		a.Rejected++
+		cls.Rejected++
+	case degraded:
+		a.Degraded++
+		cls.Degraded++
+	case admitted:
+		a.Admitted++
+		cls.Admitted++
+	}
+}
+
+// RejectRate returns the fraction of offered requests turned away.
+func (a AdmissionSummary) RejectRate() float64 {
+	if a.Offered == 0 {
+		return 0
+	}
+	return float64(a.Rejected) / float64(a.Offered)
+}
+
+// DegradeRate returns the fraction of offered requests admitted at reduced
+// service.
+func (a AdmissionSummary) DegradeRate() float64 {
+	if a.Offered == 0 {
+		return 0
+	}
+	return float64(a.Degraded) / float64(a.Offered)
+}
+
+// String renders the one-line admission rollup.
+func (a AdmissionSummary) String() string {
+	return fmt.Sprintf("admission: %d offered = %d admitted + %d degraded + %d rejected (%.1f%% degraded, %.1f%% rejected)",
+		a.Offered, a.Admitted, a.Degraded, a.Rejected,
+		100*a.DegradeRate(), 100*a.RejectRate())
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"adaserve/internal/request"
+)
+
+func TestAdmissionSummaryAdd(t *testing.T) {
+	var s AdmissionSummary
+	s.Add(request.Chat, true, false, false)
+	s.Add(request.Chat, false, true, false)
+	s.Add(request.Coding, false, false, true)
+	s.Add(request.Summarization, true, false, false)
+	// Reject wins over degrade when a controller reports both.
+	s.Add(request.Coding, false, true, true)
+
+	if s.Offered != 5 || s.Admitted != 2 || s.Degraded != 1 || s.Rejected != 2 {
+		t.Fatalf("totals %+v", s)
+	}
+	if s.Offered != s.Admitted+s.Degraded+s.Rejected {
+		t.Fatalf("summary does not partition the offered load: %+v", s)
+	}
+	chat := s.PerClass[request.Chat]
+	if chat.Offered != 2 || chat.Admitted != 1 || chat.Degraded != 1 || chat.Rejected != 0 {
+		t.Fatalf("chat split %+v", chat)
+	}
+	coding := s.PerClass[request.Coding]
+	if coding.Offered != 2 || coding.Rejected != 2 {
+		t.Fatalf("coding split %+v", coding)
+	}
+	var perClass int
+	for _, cls := range s.PerClass {
+		perClass += cls.Offered
+		if cls.Offered != cls.Admitted+cls.Degraded+cls.Rejected {
+			t.Fatalf("class split does not partition: %+v", cls)
+		}
+	}
+	if perClass != s.Offered {
+		t.Fatalf("per-class offered %d, total %d", perClass, s.Offered)
+	}
+}
+
+func TestAdmissionSummaryRates(t *testing.T) {
+	var empty AdmissionSummary
+	if empty.RejectRate() != 0 || empty.DegradeRate() != 0 {
+		t.Fatal("empty summary must report zero rates")
+	}
+	s := AdmissionSummary{Offered: 8, Admitted: 4, Degraded: 1, Rejected: 3}
+	if got := s.RejectRate(); got != 0.375 {
+		t.Fatalf("reject rate %v", got)
+	}
+	if got := s.DegradeRate(); got != 0.125 {
+		t.Fatalf("degrade rate %v", got)
+	}
+}
+
+func TestAdmissionSummaryString(t *testing.T) {
+	s := AdmissionSummary{Offered: 10, Admitted: 7, Degraded: 1, Rejected: 2}
+	out := s.String()
+	for _, want := range []string{"10 offered", "7 admitted", "1 degraded", "2 rejected", "10.0% degraded", "20.0% rejected"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}

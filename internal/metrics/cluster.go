@@ -151,6 +151,10 @@ type ClusterSummary struct {
 	// replica-seconds and no scale events). Nil only for summaries predating
 	// elastic clusters.
 	Autoscale *AutoscaleSummary
+	// Admission reports what the overload admission gate did to the offered
+	// load. Nil when no gate ran (the aggregate then covers every offered
+	// request).
+	Admission *AdmissionSummary
 }
 
 // TTFTAttainment returns the cluster-wide TTFT attainment fraction.

@@ -81,8 +81,10 @@ type Summary struct {
 	// MeanAcceptedPerStep is committed tokens per verification step per
 	// request (Figure 12's metric).
 	MeanAcceptedPerStep float64
-	// MeanTTFT is the average time-to-first-token.
+	// MeanTTFT is the average time-to-first-token; MaxTTFT the worst case
+	// over finished requests (the tail bound overload admission protects).
 	MeanTTFT float64
+	MaxTTFT  float64
 	// TPOTs holds each finished request's average per-token latency.
 	TPOTs []float64
 
@@ -123,6 +125,17 @@ func (s *Summary) P50TPOT() float64 { return mathutil.Percentile(s.TPOTs, 50) }
 
 // P99TPOT returns the 99th-percentile per-request average TPOT.
 func (s *Summary) P99TPOT() float64 { return mathutil.Percentile(s.TPOTs, 99) }
+
+// MaxTPOT returns the worst per-request average TPOT of the run.
+func (s *Summary) MaxTPOT() float64 {
+	max := 0.0
+	for _, t := range s.TPOTs {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
 
 // Summarize computes a Summary over all requests of a run. done should
 // contain every generated request (finished or not); breakdown comes from
@@ -168,6 +181,9 @@ func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Sum
 		catTPOT[r.Category] = append(catTPOT[r.Category], tpot)
 		if t := r.TTFT(); t >= 0 {
 			ttfts = append(ttfts, t)
+			if t > s.MaxTTFT {
+				s.MaxTTFT = t
+			}
 		}
 		totalSteps += r.VerifySteps
 		totalAccepted += r.AcceptedTokens

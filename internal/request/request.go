@@ -128,6 +128,17 @@ type Request struct {
 	AcceptedTokens int
 	// PreemptCount counts scheduler preemptions (FastServe/priority).
 	PreemptCount int
+
+	// Degraded marks a request an overload admission gate relaxed to
+	// best-effort service (see Degrade); DegradedFrom records the category it
+	// arrived with, so rollups can attribute the degradation to the original
+	// SLO class.
+	Degraded     bool
+	DegradedFrom Category
+	// NoSpec disables speculative decoding for this request: engines skip
+	// its draft-tree expansion, so verification commits exactly one token
+	// per step (plain autoregressive progress).
+	NoSpec bool
 }
 
 // New constructs a queued request with the mandatory fields set and
@@ -151,6 +162,29 @@ func (r *Request) Clone() *Request {
 	cp := New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
 	cp.TTFTSLO = r.TTFTSLO
 	return cp
+}
+
+// Degrade relaxes the request to best-effort service: the admission gate's
+// alternative to rejection under overload. The category becomes
+// Summarization (the batch-tolerant class), the TPOT SLO loosens to at
+// least bestEffort seconds per token, the TTFT deadline is waived, the
+// priority falls to the batch class's, and speculation is disabled — the
+// request decodes one guaranteed token per verification step, returning
+// its share of the draft budget to requests still on contractual SLOs.
+// Idempotent; DegradedFrom keeps the class the request arrived with.
+func (r *Request) Degrade(bestEffort float64) {
+	if r.Degraded {
+		return
+	}
+	r.Degraded = true
+	r.DegradedFrom = r.Category
+	r.Category = Summarization
+	r.Priority = int(Summarization)
+	if bestEffort > r.TPOTSLO {
+		r.TPOTSLO = bestEffort
+	}
+	r.TTFTSLO = 0
+	r.NoSpec = true
 }
 
 // CloneAll clones a whole trace (see Clone).

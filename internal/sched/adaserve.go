@@ -6,6 +6,7 @@ import (
 	"adaserve/internal/core"
 	"adaserve/internal/engine"
 	"adaserve/internal/gpu"
+	"adaserve/internal/mathutil"
 )
 
 // AdaServe is the paper's system: SLO-customized speculative decoding with a
@@ -46,6 +47,11 @@ type AdaServe struct {
 	// lastIterTime smooths the t_spec estimate used in A(r) with the
 	// previous iteration's actual duration.
 	lastIterTime float64
+
+	// baseDMax/baseWMax freeze the constructed controller's ceilings:
+	// ClampSpecEnvelope may narrow the runtime envelope but never exceed
+	// what the system was built (and budgeted) for.
+	baseDMax, baseWMax int
 
 	// Per-iteration scratch, reused across Iterate calls so the steady
 	// state allocates nothing: the pooled selector plus the selection-input,
@@ -133,6 +139,8 @@ func NewAdaServe(cfg Config, opts AdaServeOptions) (*AdaServe, error) {
 	return &AdaServe{
 		base:             b,
 		Controller:       ctrl,
+		baseDMax:         ctrl.DMax,
+		baseWMax:         ctrl.WMax,
 		Profile:          prof,
 		VerifyBudget:     budget,
 		NMax:             nmax,
@@ -145,6 +153,24 @@ func NewAdaServe(cfg Config, opts AdaServeOptions) (*AdaServe, error) {
 
 // Name implements System.
 func (a *AdaServe) Name() string { return "AdaServe" }
+
+// SpecEnvelope returns the adaptive controller's current depth and width
+// ceilings — the DMax/WMax bounds the per-iteration Eq. 8–9 evaluation
+// clips into.
+func (a *AdaServe) SpecEnvelope() (dmax, wmax int) {
+	return a.Controller.DMax, a.Controller.WMax
+}
+
+// ClampSpecEnvelope retunes the speculation envelope at runtime: a
+// closed-loop controller narrows (or restores) the Eq. 8–9 ceilings as the
+// observed acceptance rate drifts. dmax is clipped to the constructed
+// [DMin, DMax] and wmax to [1, WMax], so actuation is always bounded by
+// what the system was built for; within the new ceilings the per-iteration
+// evaluation keeps adapting to load as before.
+func (a *AdaServe) ClampSpecEnvelope(dmax, wmax int) {
+	a.Controller.DMax = mathutil.ClipInt(dmax, a.Controller.DMin, a.baseDMax)
+	a.Controller.WMax = mathutil.ClipInt(wmax, 1, a.baseWMax)
+}
 
 // Iterate implements System: one full SLO-customized speculative decoding
 // iteration (Algorithm 2 embedded in the serving loop of Figure 6).

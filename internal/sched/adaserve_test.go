@@ -34,6 +34,30 @@ func TestAdaServeConstruction(t *testing.T) {
 	}
 }
 
+// TestAdaServeClampSpecEnvelope pins the actuation contract the adaptive
+// controller relies on: retuned ceilings are clipped to the constructed
+// envelope (never above it, never below DMin/1), and a later clamp can
+// restore what an earlier one took away.
+func TestAdaServeClampSpecEnvelope(t *testing.T) {
+	a := newAdaServe(t, AdaServeOptions{})
+	d0, w0 := a.SpecEnvelope()
+	if d0 != a.Controller.DMax || w0 != a.Controller.WMax {
+		t.Fatalf("envelope (%d,%d) disagrees with controller (%d,%d)", d0, w0, a.Controller.DMax, a.Controller.WMax)
+	}
+	a.ClampSpecEnvelope(d0+5, w0+5)
+	if d, w := a.SpecEnvelope(); d != d0 || w != w0 {
+		t.Fatalf("clamp exceeded the constructed envelope: (%d,%d) vs (%d,%d)", d, w, d0, w0)
+	}
+	a.ClampSpecEnvelope(-3, 0)
+	if d, w := a.SpecEnvelope(); d != a.Controller.DMin || w != 1 {
+		t.Fatalf("clamp broke the floor: (%d,%d), want (%d,1)", d, w, a.Controller.DMin)
+	}
+	a.ClampSpecEnvelope(d0, w0)
+	if d, w := a.SpecEnvelope(); d != d0 || w != w0 {
+		t.Fatalf("clamp could not restore the envelope: (%d,%d) vs (%d,%d)", d, w, d0, w0)
+	}
+}
+
 func TestAdaServeRequiresDraft(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.Engine = engine.MustNew(engine.Config{

@@ -69,6 +69,31 @@ type TokensCommitted struct {
 	Tokens, Total int
 }
 
+// RequestRejected reports an arrival the admission gate turned away: the
+// request never enters a serving pool and retires unserved. Time is the
+// arrival instant. Exactly one terminal admission event (RequestRejected,
+// or RequestDegraded followed by RequestAdmitted, or RequestAdmitted
+// alone) is emitted per offered request.
+type RequestRejected struct {
+	EventMeta
+	Req *request.Request
+	// Reason is the gate's human-readable trigger.
+	Reason string
+}
+
+// RequestDegraded reports an arrival admitted under overload at reduced
+// service: the gate relaxed the request to the best-effort class and
+// disabled its speculation (see request.Degrade) before dispatch. From and
+// To record the SLO-class transition; the RequestAdmitted event for the
+// same request follows immediately. Time is the arrival instant.
+type RequestDegraded struct {
+	EventMeta
+	Req      *request.Request
+	From, To request.Category
+	// Reason is the gate's human-readable trigger.
+	Reason string
+}
+
 // ViolationKind discriminates SLO violations.
 type ViolationKind int
 
@@ -179,6 +204,54 @@ type ScaleAction struct {
 type Autoscaler interface {
 	Observer
 	Tick(now float64, q *Queue) []ScaleAction
+}
+
+// AdmissionDecision classifies one arrival at the admission gate.
+type AdmissionDecision int
+
+const (
+	// AdmissionAdmit serves the request as submitted.
+	AdmissionAdmit AdmissionDecision = iota
+	// AdmissionDegrade admits the request at reduced service: best-effort
+	// class, speculation disabled.
+	AdmissionDegrade
+	// AdmissionReject turns the request away without dispatching it.
+	AdmissionReject
+)
+
+// String implements fmt.Stringer.
+func (d AdmissionDecision) String() string {
+	switch d {
+	case AdmissionAdmit:
+		return "admit"
+	case AdmissionDegrade:
+		return "degrade"
+	case AdmissionReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("AdmissionDecision(%d)", int(d))
+	}
+}
+
+// AdmissionController closes the serving control loop: it observes the
+// event stream, gates every arrival before the backend routes it, and
+// retunes the speculation envelope of the systems it controls at iteration
+// boundaries. Wire one into a run via serve.Options.Adaptive; the driver
+// subscribes it after the autoscaler and ahead of user observers.
+//
+// Implementations must be deterministic and single-use, like the backends
+// they control.
+type AdmissionController interface {
+	Observer
+	// Decide classifies an arrival before dispatch. On AdmissionDegrade the
+	// controller must already have applied the degradation to the request
+	// (request.Degrade — the one sanctioned pre-admission mutation); on
+	// AdmissionReject the driver drops the request without dispatching it.
+	// The returned reason annotates the emitted event.
+	Decide(r *request.Request) (AdmissionDecision, string)
+	// Tick runs closed-loop actuation at an iteration boundary; now is the
+	// driver's processed-time high-water mark.
+	Tick(now float64)
 }
 
 // Observer receives every event of a run. Observers registered on a Server

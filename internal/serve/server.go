@@ -58,6 +58,14 @@ type Options struct {
 	// ScaleUp/ScaleDown events. nil (the default) leaves the fleet static
 	// and the run byte-identical to a driver without the hook.
 	Autoscaler Autoscaler
+	// Adaptive, when set, closes the serving control loop mid-run: the
+	// driver subscribes it to the event stream (after the autoscaler, ahead
+	// of user observers), consults Decide for every arrival before routing —
+	// emitting RequestRejected/RequestDegraded for gated requests — and
+	// calls Tick at every iteration boundary so the controller can retune
+	// speculation. nil (the default) admits every arrival as submitted and
+	// keeps the run byte-identical to a driver without the hook.
+	Adaptive AdmissionController
 }
 
 // fill resolves zero values to the shared defaults.
@@ -177,9 +185,13 @@ func (s *Server) Run(src Source) (*Result, error) {
 		return nil, fmt.Errorf("serve: Server is single-use; build a fresh one per run")
 	}
 	s.ran = true
+	if ac := s.opts.Adaptive; ac != nil {
+		s.observers = append([]Observer{ac}, s.observers...)
+	}
 	if as := s.opts.Autoscaler; as != nil {
-		// The autoscaler observes first: its windows reflect an event before
-		// any user observer can react to it.
+		// The autoscaler observes first (then the admission controller):
+		// their windows reflect an event before any user observer can react
+		// to it.
 		s.observers = append([]Observer{as}, s.observers...)
 	}
 	s.tracking = len(s.observers) > 0
@@ -219,6 +231,16 @@ func (s *Server) Run(src Source) (*Result, error) {
 				continue
 			}
 			r := src.Pop()
+			if ac := s.opts.Adaptive; ac != nil {
+				dec, reason := ac.Decide(r)
+				if dec == AdmissionReject {
+					s.noteRejected(r, reason)
+					continue
+				}
+				if dec == AdmissionDegrade {
+					s.noteDegraded(r, reason)
+				}
+			}
 			in, err := s.backend.Dispatch(r)
 			if err != nil {
 				return nil, err
@@ -240,6 +262,7 @@ func (s *Server) Run(src Source) (*Result, error) {
 			// with no events left it can never progress: a genuine deadlock.
 			s.noteIteration(busy)
 			s.tickAutoscaler()
+			s.tickAdaptive()
 			if !busy.hasWork() {
 				continue
 			}
@@ -274,6 +297,7 @@ func (s *Server) Run(src Source) (*Result, error) {
 		}
 		s.noteIteration(busy)
 		s.tickAutoscaler()
+		s.tickAdaptive()
 		if busy.clock > s.opts.MaxSimTime {
 			return nil, fmt.Errorf("serve: instance %d (%s) exceeded max simulated time %.0fs",
 				busy.id, busy.sys.Name(), s.opts.MaxSimTime)
@@ -317,6 +341,40 @@ func (s *Server) tickAutoscaler() {
 			s.emit(ScaleDown{EventMeta: s.meta(s.now), Action: a})
 		}
 	}
+}
+
+// tickAdaptive lets the admission/speculation controller actuate at an
+// iteration boundary.
+func (s *Server) tickAdaptive() {
+	if ac := s.opts.Adaptive; ac != nil {
+		ac.Tick(s.now)
+	}
+}
+
+// noteRejected derives the RequestRejected event for a gated arrival; the
+// request never reaches a serving pool.
+func (s *Server) noteRejected(r *request.Request, reason string) {
+	if !s.tracking {
+		return
+	}
+	s.bumpNow(r.ArrivalTime)
+	s.maybeSnapshots()
+	s.emit(RequestRejected{EventMeta: s.meta(r.ArrivalTime), Req: r, Reason: reason})
+}
+
+// noteDegraded derives the RequestDegraded event for an arrival admitted at
+// reduced service; the controller has already applied the degradation, and
+// the RequestAdmitted event for the same request follows.
+func (s *Server) noteDegraded(r *request.Request, reason string) {
+	if !s.tracking {
+		return
+	}
+	s.bumpNow(r.ArrivalTime)
+	s.maybeSnapshots()
+	s.emit(RequestDegraded{
+		EventMeta: s.meta(r.ArrivalTime), Req: r,
+		From: r.DegradedFrom, To: r.Category, Reason: reason,
+	})
 }
 
 // emit delivers one event to every observer in registration order.

@@ -401,3 +401,31 @@ func BenchmarkFigureGrid(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFaultGrid runs a reduced chaos grid end to end — every failure
+// scenario under no recovery and under full retry+hedge recovery —
+// reporting the recovery headlines (goodput, attainment, worst-case TTFT)
+// per cell. This is the macro benchmark covering the fault-injection
+// machinery: crash harvest and failover retries, clock-divergence hedging,
+// link-fault recompute fallback, and autoscale-driven replacement.
+func BenchmarkFaultGrid(b *testing.B) {
+	setup := experiments.Llama70B()
+	opts := experiments.RunOptions{Seed: 1, Duration: 20, Parallel: 1}
+	for _, scenario := range experiments.FaultScenarios() {
+		for _, recovery := range []string{"none", "retry+hedge"} {
+			b.Run(fmt.Sprintf("%s/%s", scenario, recovery), func(b *testing.B) {
+				var sum *metrics.ClusterSummary
+				for i := 0; i < b.N; i++ {
+					s, err := experiments.FaultCell(setup, scenario, recovery, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum = s
+				}
+				b.ReportMetric(sum.Goodput(), "good_tok/s")
+				b.ReportMetric(100*sum.Attainment(), "attain%")
+				b.ReportMetric(sum.Aggregate.MaxTTFT, "max_ttft_s")
+			})
+		}
+	}
+}

@@ -15,7 +15,9 @@
 // autoscale (equal-peak static fleet vs elastic scaling policies × arrival
 // profile × router, reporting goodput per replica-second), adaptive (static
 // AdaServe vs closed-loop speculation tuning and overload admission under a
-// flash crowd).
+// flash crowd), faults (chaos sweep: replica crash, straggler and
+// KV-transfer link faults × recovery modes none/retry/retry+hedge; -faults
+// replaces the built-in scenarios with a custom schedule).
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"strings"
 
 	"adaserve/internal/experiments"
+	"adaserve/internal/faults"
 	"adaserve/internal/mathutil"
 	"adaserve/internal/metrics"
 	"adaserve/internal/workload"
@@ -36,7 +39,7 @@ import (
 func knownExps() []string {
 	return []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg",
-		"autoscale", "adaptive", "hardware"}
+		"autoscale", "adaptive", "faults", "hardware"}
 }
 
 // parseExps validates the comma-separated -exp list against knownExps,
@@ -58,12 +61,14 @@ func parseExps(expFlag string) (map[string]bool, error) {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,autoscale,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,autoscale,adaptive,faults,all)")
 	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for independent grid points (results are identical at any value)")
+	faultsFlag := flag.String("faults", "",
+		`custom fault schedule for -exp faults, e.g. "crash@30+10:r0; slow@60+20:x4" (empty: built-in scenarios)`)
 	flag.Parse()
 
 	var setups []experiments.ModelSetup
@@ -79,6 +84,10 @@ func main() {
 	}
 
 	want, err := parseExps(*expFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	customFaults, err := faults.ParseSpec(*faultsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,6 +136,9 @@ func main() {
 		if all || want["adaptive"] {
 			runAdaptive(setup, opts)
 		}
+		if all || want["faults"] {
+			runFaults(setup, opts, customFaults)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
@@ -173,6 +185,23 @@ func runAdaptive(setup experiments.ModelSetup, opts experiments.RunOptions) {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderAdaptive(pts))
+	fmt.Println()
+}
+
+func runFaults(setup experiments.ModelSetup, opts experiments.RunOptions, custom faults.Spec) {
+	fmt.Printf("\n--- Faults: failure scenarios x recovery modes (fleet %d elastic, link on 2P2D, mean %.1f rps; %.1f with hedge headroom) ---\n",
+		experiments.FaultFleet, experiments.FaultMeanRPS(setup, "crash"), experiments.FaultMeanRPS(setup, "straggler"))
+	var pts []experiments.FaultPoint
+	var err error
+	if custom.Empty() {
+		pts, err = experiments.Faults(setup, opts)
+	} else {
+		pts, err = experiments.FaultsWithSpec(setup, custom, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFaults(pts))
 	fmt.Println()
 }
 

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"adaserve/internal/faults"
 )
 
 // TestParseExps is the -exp validation table: every known token (including
@@ -51,5 +53,34 @@ func TestParseExps(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestBenchFaultsFlag is the -faults validation table: the schedule is
+// parsed up front, so a malformed spec exits with a one-line error before
+// any experiment runs.
+func TestBenchFaultsFlag(t *testing.T) {
+	for _, ok := range []string{
+		"",
+		"crash@30+10:r0",
+		"crash@30+10:r0; slow@60+20:x4; link@40+30:p0.3; hazard@0.01+10",
+	} {
+		if _, err := faults.ParseSpec(ok); err != nil {
+			t.Errorf("valid -faults %q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"crash",            // no @time
+		"crash@-5",         // negative time
+		"slow@1+2",         // no factor
+		"link@1+2:p0.5:r1", // link is cluster-wide
+		"flood@1",          // unknown kind
+	} {
+		if _, err := faults.ParseSpec(bad); err == nil {
+			t.Errorf("malformed -faults %q accepted", bad)
+		}
+	}
+	if _, err := parseExps("faults"); err != nil {
+		t.Errorf("-exp faults rejected: %v", err)
 	}
 }

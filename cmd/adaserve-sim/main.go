@@ -34,6 +34,13 @@
 // the saturated fleet provably cannot serve. The two compose (the full
 // closed loop) and -live streams every degrade/reject decision.
 //
+// With -faults the run replays a deterministic failure schedule — replica
+// crashes, stragglers, KV-transfer link faults, or a Poisson crash hazard —
+// and -recovery picks the response: none, retry (timeout detection, budgeted
+// re-dispatch with backoff, failover), or retry+hedge (plus duplicate
+// dispatches for TTFT-at-risk requests on suspect replicas). Cluster mode
+// only; -live then also streams every crash, recovery, retry and hedge.
+//
 // Usage:
 //
 //	adaserve-sim -system AdaServe -model llama -rps 3.8 -duration 120
@@ -43,6 +50,7 @@
 //	adaserve-sim -roles 2P2D -router least-loaded
 //	adaserve-sim -replicas 4 -autoscale rate-prop -rate-profile diurnal -live
 //	adaserve-sim -replicas 2 -adaptive -admission -rate-profile spike -live
+//	adaserve-sim -replicas 4 -faults "crash@30+10:r0" -recovery retry+hedge -live
 package main
 
 import (
@@ -54,6 +62,7 @@ import (
 	"adaserve/internal/autoscale"
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
+	"adaserve/internal/faults"
 	"adaserve/internal/mathutil"
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
@@ -100,6 +109,22 @@ func resolveAutoscale(name string, replicas int) (autoscale.Policy, error) {
 	return policy, nil
 }
 
+// resolveFaults validates the -faults/-recovery pair and returns the parsed
+// fault schedule (empty when -faults is unset) and recovery mode. Both flags
+// are validated unconditionally, so a typo fails fast even when the other
+// flag would have made it moot.
+func resolveFaults(spec, recovery string) (faults.Spec, faults.Recovery, error) {
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		return faults.Spec{}, 0, err
+	}
+	rec, err := faults.ParseRecovery(recovery)
+	if err != nil {
+		return faults.Spec{}, 0, err
+	}
+	return s, rec, nil
+}
+
 // resolveAdaptive maps the -adaptive/-admission pair to a controller config:
 // nil when both are off, tuning-only or admission-only when one is set, the
 // full closed loop when both are. Timing follows the adaptive experiment's
@@ -129,6 +154,8 @@ func main() {
 	autoscaleFlag := flag.String("autoscale", "", "elastic-fleet scaling policy: target-queue, rate-prop, slo-feedback (empty: static fleet)")
 	adaptiveFlag := flag.Bool("adaptive", false, "close the loop: retune the speculation envelope from rolling acceptance and attainment (AdaServe only)")
 	admissionFlag := flag.Bool("admission", false, "arm the overload gate: degrade or reject arrivals a saturated fleet cannot serve")
+	faultsFlag := flag.String("faults", "", `fault schedule, e.g. "crash@30+10:r0; slow@60+20:x4; link@40+30:p0.3; hazard@0.01+10" (cluster mode only)`)
+	recoveryFlag := flag.String("recovery", "retry", "fault recovery mode: none, retry, retry+hedge")
 	profile := flag.String("rate-profile", "", "open-loop arrival shape: constant, ramp, spike, diurnal (empty: closed trace replay)")
 	live := flag.Bool("live", false, "stream periodic rolling-metric snapshots and SLO-violation events")
 	snapEvery := flag.Float64("snapshot-every", 5, "simulated seconds between -live snapshots")
@@ -158,6 +185,13 @@ func main() {
 	policy, err := resolveAutoscale(*autoscaleFlag, *replicas)
 	if err != nil {
 		log.Fatal(err)
+	}
+	faultSpec, faultRec, err := resolveFaults(*faultsFlag, *recoveryFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !faultSpec.Empty() && *replicas < 2 && len(roles) == 0 {
+		log.Fatal("-faults needs a cluster: set -replicas > 1 or -roles")
 	}
 	var setup experiments.ModelSetup
 	switch *model {
@@ -257,6 +291,17 @@ func main() {
 	if *live {
 		opts.SnapshotEvery = *snapEvery
 	}
+	var inj *faults.Injector
+	if !faultSpec.Empty() {
+		inj, err = faults.New(cl, faultSpec, faults.Options{
+			Seed: *seed, Horizon: *duration, Recovery: faultRec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Faults = inj
+		fmt.Printf("faults: %s [recovery %s]\n", faultSpec, faultRec)
+	}
 	if policy != nil {
 		ctrl, err := autoscale.New(cl, policy, autoscale.Options{
 			Interval: experiments.AutoscaleInterval(*duration),
@@ -314,6 +359,10 @@ func main() {
 			asum := actrl.Summary()
 			res.Summary.Admission = &asum
 		}
+		if inj != nil {
+			fsum := inj.Summary(rr.EndTime)
+			res.Summary.Faults = &fsum
+		}
 		printCluster(res, *replicas)
 		return
 	}
@@ -366,12 +415,24 @@ func liveEvent(ev serve.Event, cl *cluster.Cluster) {
 	case serve.ScaleDown:
 		fmt.Printf("[scal t=%7.1fs] -replica %d (%s): %s -> fleet %d\n",
 			e.Time, e.Action.Instance, e.Action.Role, e.Action.Reason, e.Action.Fleet)
+	case serve.ReplicaFailed:
+		fmt.Printf("[falt t=%7.1fs] replica %d crashed (%s), %d resident requests frozen\n",
+			e.Time, e.Instance, e.Reason, e.Lost)
+	case serve.ReplicaRecovered:
+		fmt.Printf("[falt t=%7.1fs] replica %d recovered after %.1fs down\n",
+			e.Time, e.Instance, e.Downtime)
+	case serve.RequestRetried:
+		fmt.Printf("[falt t=%7.1fs] request %d retried (attempt %d) on replica %d\n",
+			e.Time, e.Req.ID, e.Attempt, e.Instance)
+	case serve.RequestHedged:
+		fmt.Printf("[falt t=%7.1fs] request %d hedged onto replica %d\n",
+			e.Time, e.Req.ID, e.Instance)
 	}
 }
 
 // fleetString renders an elastic fleet's occupancy, e.g. "fleet 3/4 (+1 prov)".
 func fleetString(cl *cluster.Cluster) string {
-	active, prov, draining := 0, 0, 0
+	active, prov, draining, failed := 0, 0, 0, 0
 	for _, rep := range cl.Replicas() {
 		switch rep.State() {
 		case cluster.StateActive:
@@ -380,6 +441,8 @@ func fleetString(cl *cluster.Cluster) string {
 			prov++
 		case cluster.StateDraining:
 			draining++
+		case cluster.StateFailed:
+			failed++
 		}
 	}
 	s := fmt.Sprintf("fleet %d/%d", active, cl.Size())
@@ -388,6 +451,9 @@ func fleetString(cl *cluster.Cluster) string {
 	}
 	if draining > 0 {
 		s += fmt.Sprintf(" (-%d drain)", draining)
+	}
+	if failed > 0 {
+		s += fmt.Sprintf(" (%d failed)", failed)
 	}
 	return s
 }
@@ -429,6 +495,9 @@ func printCluster(res *cluster.Result, n int) {
 	}
 	if s.Admission != nil {
 		fmt.Println(s.Admission.String())
+	}
+	if s.Faults != nil {
+		fmt.Printf("faults %s\n", s.Faults)
 	}
 	fmt.Printf("simulated: %.1fs over %d iterations across %d replicas\n", res.EndTime, res.Iterations, n)
 }

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
+	"adaserve/internal/metrics"
+	"adaserve/internal/request"
 	"adaserve/internal/serve"
 )
 
@@ -155,4 +159,134 @@ func TestResolveAutoscale(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestResolveFaults is the -faults/-recovery validation table: a malformed
+// schedule or recovery mode fails with a one-line error before any setup.
+func TestResolveFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     string
+		recovery string
+		wantLen  int
+		wantErr  string
+	}{
+		{name: "disabled", spec: "", recovery: "retry"},
+		{name: "crash", spec: "crash@30+10:r0", recovery: "none", wantLen: 1},
+		{name: "full schedule", spec: "crash@30+10:r0; slow@60+20:x4; link@40+30:p0.3", recovery: "retry+hedge", wantLen: 3},
+		{name: "missing time", spec: "crash", recovery: "retry", wantErr: "faults:"},
+		{name: "negative time", spec: "crash@-1", recovery: "retry", wantErr: "faults:"},
+		{name: "slow without factor", spec: "slow@1+2", recovery: "retry", wantErr: "faults:"},
+		{name: "link per replica", spec: "link@1+2:p0.5:r1", recovery: "retry", wantErr: "faults:"},
+		{name: "unknown kind", spec: "flood@1", recovery: "retry", wantErr: "flood"},
+		{name: "bad recovery", spec: "crash@30", recovery: "prayer", wantErr: "prayer"},
+		{name: "bad recovery without faults", spec: "", recovery: "prayer", wantErr: "prayer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, _, err := resolveFaults(c.spec, c.recovery)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spec.Events) != c.wantLen {
+				t.Fatalf("parsed %d events, want %d", len(spec.Events), c.wantLen)
+			}
+			if (c.spec == "") != spec.Empty() {
+				t.Fatalf("Empty() = %v for spec %q", spec.Empty(), c.spec)
+			}
+		})
+	}
+}
+
+// TestLiveEventRendersEveryKind drives the -live renderer with one event of
+// every kind it formats and checks each line carries its tag and payload —
+// the stream a user watches during a faulted run must name crashes,
+// recoveries, retries and hedges explicitly.
+func TestLiveEventRendersEveryKind(t *testing.T) {
+	req := &request.Request{ID: 7, Category: request.Coding}
+	cases := []struct {
+		name string
+		ev   serve.Event
+		want []string
+	}{
+		{name: "snapshot", ev: serve.Snapshot{Stats: metrics.RollingStats{Running: 2, Queued: 1}},
+			want: []string{"[live", "run   2", "wait   1"}},
+		{name: "final snapshot", ev: serve.Snapshot{Final: true}, want: []string{"[done"}},
+		{name: "violation", ev: serve.SLOViolated{Req: req, Kind: serve.ViolationTTFT},
+			want: []string{"[viol", "request 7", "ttft"}},
+		{name: "rejected", ev: serve.RequestRejected{Req: req, Reason: "overload"},
+			want: []string{"[admt", "rejected: overload"}},
+		{name: "degraded", ev: serve.RequestDegraded{Req: req, From: request.Coding, To: request.Summarization, Reason: "pressure"},
+			want: []string{"[admt", "degraded"}},
+		{name: "scale up", ev: serve.ScaleUp{Action: serve.ScaleAction{Up: true, Instance: 3, Role: "mixed", Reason: "load", Fleet: 4}},
+			want: []string{"[scal", "+replica 3", "fleet 4"}},
+		{name: "scale down", ev: serve.ScaleDown{Action: serve.ScaleAction{Instance: 3, Role: "mixed", Reason: "idle", Fleet: 3}},
+			want: []string{"[scal", "-replica 3"}},
+		{name: "replica failed", ev: serve.ReplicaFailed{Instance: 1, Lost: 4, Reason: "injected crash"},
+			want: []string{"[falt", "replica 1 crashed", "4 resident"}},
+		{name: "replica recovered", ev: serve.ReplicaRecovered{Instance: 1, Downtime: 2.5},
+			want: []string{"[falt", "replica 1 recovered", "2.5s down"}},
+		{name: "retried", ev: serve.RequestRetried{Req: req, Instance: 2, Attempt: 3},
+			want: []string{"[falt", "request 7 retried", "attempt 3", "replica 2"}},
+		{name: "hedged", ev: serve.RequestHedged{Req: req, Instance: 2},
+			want: []string{"[falt", "request 7 hedged", "replica 2"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out := captureStdout(t, func() { liveEvent(c.ev, nil) })
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Fatalf("liveEvent output %q missing %q", out, w)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetStringStates checks the elastic-fleet occupancy tag across
+// lifecycle states, including the failed count a faulted run surfaces.
+func TestFleetStringStates(t *testing.T) {
+	cl, err := experiments.BuildElasticCluster(experiments.SysAdaServe, experiments.Llama70B(),
+		3, "round-robin", cluster.ElasticOptions{ColdStart: 1, InitialActive: 2},
+		experiments.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fleetString(cl); !strings.Contains(got, "fleet 2/3") {
+		t.Fatalf("fleet tag %q, want active/size occupancy", got)
+	}
+	cl.ArmFaults()
+	if _, ok := cl.Fail(0, 0.5); !ok {
+		t.Fatal("Fail(0) refused")
+	}
+	got := fleetString(cl)
+	if !strings.Contains(got, "fleet 1/3") || !strings.Contains(got, "(1 failed)") {
+		t.Fatalf("fleet tag %q, want failed replica surfaced", got)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

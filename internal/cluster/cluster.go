@@ -314,6 +314,13 @@ type Cluster struct {
 	peakFleet       int
 	minFleet        int
 
+	// Fault-injection state (see faults.go). All zero — and therefore
+	// invisible — until ArmFaults.
+	faultsArmed   bool
+	linkWindows   []LinkWindow
+	linkFallbacks int
+	linkDegraded  int
+
 	stats metrics.TransferStats
 }
 
@@ -459,10 +466,24 @@ func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
 				c.router.Name(), idx, len(cands))
 		}
 		lat := c.transfer.Latency(r.PromptLen)
+		failed := false
+		if len(c.linkWindows) > 0 {
+			// An armed link fault may degrade the transfer (latency factor)
+			// or lose it in flight: the request still pays the attempt's
+			// wire time — the failure is detected at the destination — but
+			// arrives without its prompt KV and recomputes the prefill there.
+			lat, failed = c.linkFault(rep.Clock(), r.ID, lat)
+		}
 		c.stats.Count++
 		c.stats.Bytes += c.transfer.Bytes(r.PromptLen)
 		c.stats.Time += lat
-		r.Phase = request.Preempted // re-enqueues as resumable, skipping prefill
+		if failed {
+			r.Phase = request.Queued
+			r.PrefillDone = 0
+			r.Recompute = true // decode-mode admission accepts the re-prefill
+		} else {
+			r.Phase = request.Preempted // re-enqueues as resumable, skipping prefill
+		}
 		req, target, ready := r, cands[idx], rep.Clock()+lat
 		target.pendingDeliveries++
 		q.Schedule(ready, req.ID, func() { c.deliver(req, target, ready) })
@@ -471,9 +492,16 @@ func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
 }
 
 // deliver lands an arrived migration on its decode replica, bumping an idle
-// target's clock to the transfer-completion instant.
+// target's clock to the transfer-completion instant. With faults armed, a
+// delivery whose target crashed while the transfer was in flight is
+// re-routed to a surviving decode-capable replica (router exclusion of
+// failed replicas covers in-flight work, not just new dispatches); with none
+// left it lands on the failed replica and is lost with it.
 func (c *Cluster) deliver(r *request.Request, target *Replica, ready float64) {
 	target.pendingDeliveries--
+	if c.faultsArmed && target.state == StateFailed && len(c.routableDecode) > 0 {
+		target = c.routableDecode[c.router.RouteDecode(r, c.routableDecode)]
+	}
 	target.inst.BumpClock(ready)
 	target.System().Pool().Enqueue(r)
 	target.migrated = append(target.migrated, r)
@@ -481,9 +509,13 @@ func (c *Cluster) deliver(r *request.Request, target *Replica, ready float64) {
 
 // deliverRouted lands a drain-migrated, still-to-prefill request on its new
 // replica as a routed arrival (the prefill stage restarts there, so the
-// target owns the request's placement stats).
+// target owns the request's placement stats). Failed targets re-route like
+// deliver.
 func (c *Cluster) deliverRouted(r *request.Request, target *Replica, ready float64) {
 	target.pendingDeliveries--
+	if c.faultsArmed && target.state == StateFailed && len(c.routablePrefill) > 0 {
+		target = c.routablePrefill[c.router.Route(r, c.routablePrefill)]
+	}
 	target.inst.BumpClock(ready)
 	target.System().Pool().Enqueue(r)
 	target.routed = append(target.routed, r)

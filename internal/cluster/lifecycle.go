@@ -19,12 +19,19 @@ import (
 //	StateStopped ──ScaleUp──▶ StateProvisioning ──cold start elapses──▶ StateActive
 //	StateProvisioning ──ScaleDown (cancel)──▶ StateStopped
 //	StateActive ──ScaleDown──▶ StateDraining ──pool drains──▶ StateStopped
+//	any non-stopped ──Fail (injected crash)──▶ StateFailed
+//	StateFailed ──Recover──▶ StateActive (static) / StateStopped (elastic)
 //
 // Provisioning models model-load plus KV allocation: the replica consumes
 // capacity (it is billed) but accepts no work until its cold start elapses.
 // Draining takes no new admissions; its waiting requests migrate to active
 // replicas over the KV-transfer path and its running requests finish in
-// place.
+// place. Failure (see faults.go) is abrupt: the replica halts mid-flight,
+// freezing its resident requests and losing its KV; it is unbilled while
+// down (the outage is accounted as unavailability, not capacity), and an
+// elastic fleet's recovery returns it as spare capacity — so a crash looks
+// like an organic scale-down to the autoscale controller, which provisions
+// replacement capacity through the ordinary ScaleUp path.
 type State int
 
 const (
@@ -38,6 +45,10 @@ const (
 	StateDraining
 	// StateStopped is spare capacity: unbilled, not routable.
 	StateStopped
+	// StateFailed is crashed: halted abruptly by fault injection, resident
+	// requests frozen (lost once detection harvests them), KV gone. Unbilled
+	// and not routable until recovery.
+	StateFailed
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +62,8 @@ func (s State) String() string {
 		return "draining"
 	case StateStopped:
 		return "stopped"
+	case StateFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -141,11 +154,13 @@ func (c *Cluster) ActiveServing() int {
 }
 
 // CommittedFleet counts replicas consuming capacity: provisioning, active
-// or draining.
+// or draining. Failed replicas are excluded — a crash stops the meter, and
+// the outage is accounted as unavailability (metrics.FaultSummary), not
+// capacity.
 func (c *Cluster) CommittedFleet() int {
 	n := 0
 	for _, rep := range c.replicas {
-		if rep.state != StateStopped {
+		if rep.state != StateStopped && rep.state != StateFailed {
 			n++
 		}
 	}
@@ -157,13 +172,16 @@ type PoolCounts struct {
 	Role                           Role
 	Active, Provisioning, Draining int
 	Stopped                        int
+	// Failed counts crashed replicas: built capacity that is neither billed
+	// nor spare — ScaleUp cannot provision it until recovery returns it.
+	Failed int
 }
 
 // Committed is the pool's capacity-consuming replica count.
 func (p PoolCounts) Committed() int { return p.Active + p.Provisioning + p.Draining }
 
 // Capacity is the pool's built replica count.
-func (p PoolCounts) Capacity() int { return p.Committed() + p.Stopped }
+func (p PoolCounts) Capacity() int { return p.Committed() + p.Stopped + p.Failed }
 
 // CountPool tallies the lifecycle states of the replicas running one role.
 func (c *Cluster) CountPool(role Role) PoolCounts {
@@ -179,6 +197,8 @@ func (c *Cluster) CountPool(role Role) PoolCounts {
 			pc.Provisioning++
 		case StateDraining:
 			pc.Draining++
+		case StateFailed:
+			pc.Failed++
 		default:
 			pc.Stopped++
 		}
@@ -441,7 +461,9 @@ func (c *Cluster) LifecycleStats(end float64) metrics.AutoscaleSummary {
 	}
 	for _, rep := range c.replicas {
 		s.ReplicaSeconds += rep.consumed
-		if rep.state != StateStopped && end > rep.activeSince {
+		// Failed replicas stopped billing at the crash (their span closed in
+		// Fail); the outage shows up as unavailability, not capacity.
+		if rep.state != StateStopped && rep.state != StateFailed && end > rep.activeSince {
 			s.ReplicaSeconds += end - rep.activeSince
 		}
 	}

@@ -406,10 +406,72 @@ func TestStaticClusterLifecycleStats(t *testing.T) {
 	}
 }
 
+func TestScaleDownRefusedWithoutMigrationTargets(t *testing.T) {
+	// A drain needs somewhere to send its waiting requests: when a crash has
+	// taken every other active replica, scale-down must refuse rather than
+	// route migrations into an empty candidate set.
+	cl := elasticFake(t, 3, ElasticOptions{ColdStart: 1, InitialActive: 2}, nil)
+	var q serve.Queue
+	cl.Replicas()[1].System().Pool().Enqueue(request.New(0, request.Chat, 0.05, 0.1, 16, 4, 3))
+	if _, ok := cl.Fail(0, 1.0); !ok {
+		t.Fatal("crash refused")
+	}
+	if _, ok := cl.ScaleDown(RoleMixed, 2.0, &q); ok {
+		t.Fatal("drained the last surviving active replica")
+	}
+	if cl.Replicas()[1].State() != StateActive || q.Len() != 0 {
+		t.Fatal("refused scale-down still mutated the fleet")
+	}
+}
+
+func TestCancelAtActivationInstant(t *testing.T) {
+	// A provisioning cancel landing at the exact instant its activation
+	// delivery fires: the cancel wins (it ran first at that instant) and the
+	// delivery must not resurrect the replica.
+	cl := elasticFake(t, 2, ElasticOptions{ColdStart: 2, InitialActive: 1}, nil)
+	var q serve.Queue
+	rep, ok := cl.ScaleUp(RoleMixed, 1.0, &q)
+	if !ok {
+		t.Fatal("scale-up refused")
+	}
+	readyAt := rep.readyAt
+	down, ok := cl.ScaleDown(RoleMixed, readyAt, &q)
+	if !ok || down != rep {
+		t.Fatalf("cancel picked %v, want the provisioning replica", down)
+	}
+	cl.activate(rep, readyAt) // the queued delivery, same instant
+	if rep.State() != StateStopped {
+		t.Fatalf("same-instant activation resurrected a canceled replica: %v", rep.State())
+	}
+	// The full provisioning span was paid for exactly once.
+	if got := cl.LifecycleStats(readyAt).ReplicaSeconds; got != readyAt+2 {
+		t.Fatalf("replica-seconds %g, want %g", got, readyAt+2)
+	}
+}
+
+func TestSweepDrainedIdempotentOnStopped(t *testing.T) {
+	cl := elasticFake(t, 2, ElasticOptions{ColdStart: 0, InitialActive: 2}, nil)
+	var q serve.Queue
+	down, ok := cl.ScaleDown(RoleMixed, 1.0, &q)
+	if !ok || down.State() != StateStopped {
+		t.Fatalf("idle drain did not stop immediately: %v", down)
+	}
+	before := cl.LifecycleStats(5).ReplicaSeconds
+	cl.SweepDrained()
+	cl.SweepDrained()
+	if down.State() != StateStopped {
+		t.Fatalf("sweep changed a stopped replica to %v", down.State())
+	}
+	if after := cl.LifecycleStats(5).ReplicaSeconds; after != before {
+		t.Fatalf("re-sweeping a stopped replica re-billed it: %g != %g", after, before)
+	}
+}
+
 func TestStateString(t *testing.T) {
 	for st, want := range map[State]string{
 		StateActive: "active", StateProvisioning: "provisioning",
-		StateDraining: "draining", StateStopped: "stopped", State(9): "State(9)",
+		StateDraining: "draining", StateStopped: "stopped", StateFailed: "failed",
+		State(9): "State(9)",
 	} {
 		if st.String() != want {
 			t.Errorf("State(%d).String() = %q, want %q", int(st), st.String(), want)

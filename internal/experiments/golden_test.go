@@ -48,6 +48,17 @@ type goldenRow struct {
 	MaxTTFT  float64 `json:"maxTTFT,omitempty"`
 	Degraded int     `json:"degraded,omitempty"`
 	Rejected int     `json:"rejected,omitempty"`
+
+	// Chaos-grid columns (likewise zero and omitted for every other
+	// experiment, so adding them left bench.json byte-identical).
+	Scenario  string  `json:"scenario,omitempty"`
+	Recovery  string  `json:"recovery,omitempty"`
+	Lost      int     `json:"lost,omitempty"`
+	Retried   int     `json:"retried,omitempty"`
+	Dropped   int     `json:"dropped,omitempty"`
+	Hedged    int     `json:"hedged,omitempty"`
+	Fallbacks int     `json:"fallbacks,omitempty"`
+	MTTR      float64 `json:"mttr,omitempty"`
 }
 
 // goldenOpts is the tiny fixed-seed grid: short enough for CI, long enough

@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSpec checks that any accepted spec renders canonically: parse →
+// String → parse is the identity, and String is a fixed point. Rejections
+// must come back as errors, never panics.
+func FuzzFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash@5",
+		"crash@5+2:r1",
+		"slow@1+2:x3",
+		"slow@1.25+2:r3:x1.5",
+		"link@1+2:p0.5",
+		"link@2+3:p0.25:x2",
+		"hazard@0.01+5",
+		"crash@5; slow@1+2:x3; link@1+2:p1; hazard@0.1+3",
+		"crash@1e-3",
+		"crash@5:q1",
+		"slow@1+2:x0.5",
+		"hazard@0.1; hazard@1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		rendered := s.String()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", rendered, in, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip of %q changed the spec:\n  first:  %+v\n  second: %+v", in, s, back)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String is not a fixed point for %q: %q then %q", in, rendered, again)
+		}
+	})
+}

@@ -130,6 +130,45 @@ func (a AutoscaleSummary) String() string {
 		a.MinReplicas, a.PeakReplicas, a.ReplicaSeconds, a.GoodputPerReplicaSecond())
 }
 
+// FaultSummary reports what an injected fault schedule did to a cluster run
+// and what recovery bought back. Attainment-under-faults is read off the
+// ordinary aggregate summary — every lost-and-never-recovered request counts
+// as a violation there — so this rollup carries the failure-specific counts
+// the chaos experiments compare recovery modes on.
+type FaultSummary struct {
+	// Spec is the canonical fault-schedule spec string; Recovery names the
+	// recovery mode ("none", "retry", "retry+hedge").
+	Spec     string
+	Recovery string
+	// Crashes, Stragglers and LinkWindows count injected fault events;
+	// Repairs counts crashes whose replica returned.
+	Crashes, Stragglers, LinkWindows, Repairs int
+	// LostRequests counts requests frozen on crashed replicas (harvested at
+	// detection); Retried of them were re-dispatched, and Dropped exhausted
+	// their retry budget.
+	LostRequests, Retried, Dropped int
+	// Hedged counts duplicate dispatches for TTFT-at-risk requests on
+	// suspect replicas; DuplicateCancelled counts resolved races (the losing
+	// attempt is cancelled but was billed).
+	Hedged, DuplicateCancelled int
+	// TransferFallbacks counts prefill-to-decode migrations lost in flight
+	// (prompt KV recomputed on the destination); TransferDegraded counts
+	// migrations that paid a slowed link.
+	TransferFallbacks, TransferDegraded int
+	// UnavailableReplicaSeconds integrates failed-replica downtime over the
+	// run; MTTR is the mean time-to-recovery over repaired crashes.
+	UnavailableReplicaSeconds float64
+	MTTR                      float64
+}
+
+// String renders the one-line fault rollup.
+func (f FaultSummary) String() string {
+	return fmt.Sprintf("%s [%s]: %d crashes (%d repaired, MTTR %.2fs, %.1f replica-s down), %d stragglers, %d link windows; lost %d, retried %d, dropped %d, hedged %d (%d dup cancelled), %d transfer fallbacks",
+		f.Spec, f.Recovery, f.Crashes, f.Repairs, f.MTTR, f.UnavailableReplicaSeconds,
+		f.Stragglers, f.LinkWindows, f.LostRequests, f.Retried, f.Dropped,
+		f.Hedged, f.DuplicateCancelled, f.TransferFallbacks)
+}
+
 // ClusterSummary aggregates a multi-replica run: the cluster-wide summary
 // over every request of the trace plus one summary per replica over the
 // requests routed to it.
@@ -155,6 +194,9 @@ type ClusterSummary struct {
 	// load. Nil when no gate ran (the aggregate then covers every offered
 	// request).
 	Admission *AdmissionSummary
+	// Faults reports what an injected fault schedule did and what recovery
+	// bought back. Nil when no faults ran.
+	Faults *FaultSummary
 }
 
 // TTFTAttainment returns the cluster-wide TTFT attainment fraction.

@@ -150,6 +150,18 @@ func (p *Pool) Finish() int {
 	return moved
 }
 
+// AdoptDone appends an already-finished request directly to the done list
+// without it ever having waited or run here: hedged re-dispatch resolves this
+// way when the duplicate wins — the original adopts the winner's outcome and
+// retires through the winning replica's pool, so the serve driver derives its
+// lifecycle events at that replica's next iteration boundary.
+func (p *Pool) AdoptDone(r *Request) {
+	if r.Phase != Done {
+		panic(fmt.Sprintf("request: adopt-done of %d in phase %s", r.ID, r.Phase))
+	}
+	p.done = append(p.done, r)
+}
+
 // NumWaiting returns the waiting-queue length.
 func (p *Pool) NumWaiting() int { return len(p.waiting) }
 

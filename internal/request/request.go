@@ -135,6 +135,14 @@ type Request struct {
 	// SLO class.
 	Degraded     bool
 	DegradedFrom Category
+	// Retries counts recovery re-dispatches after replica failures (see
+	// ResetForRetry). TTFT and TPOT keep measuring from the original arrival,
+	// so retried requests pay their lost work against their SLOs.
+	Retries int
+	// Recompute marks a request whose prompt KV was lost in a failed
+	// prefill-to-decode transfer: the destination decode replica must admit it
+	// despite remaining prefill work and recompute the prompt in place.
+	Recompute bool
 	// NoSpec disables speculative decoding for this request: engines skip
 	// its draft-tree expansion, so verification commits exactly one token
 	// per step (plain autoregressive progress).
@@ -185,6 +193,27 @@ func (r *Request) Degrade(bestEffort float64) {
 	}
 	r.TTFTSLO = 0
 	r.NoSpec = true
+}
+
+// ResetForRetry rewinds a request lost to a replica failure so recovery can
+// re-dispatch it from scratch: all computed state (prompt progress, output,
+// decode context) and service timestamps reset, while identity, SLOs and —
+// crucially — ArrivalTime survive, so the retried attempt's TTFT and TPOT
+// are measured against the original deadline. Retries increments; degradation
+// and preemption history are kept.
+func (r *Request) ResetForRetry() {
+	r.Phase = Queued
+	r.PrefillDone = 0
+	r.Output = nil
+	r.Ctx = lm.Context{ReqSeed: r.Seed}
+	r.AdmitTime = -1
+	r.FirstDecodeTime = -1
+	r.FirstTokenTime = -1
+	r.DoneTime = -1
+	r.VerifySteps = 0
+	r.AcceptedTokens = 0
+	r.Recompute = false
+	r.Retries++
 }
 
 // CloneAll clones a whole trace (see Clone).

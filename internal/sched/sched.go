@@ -162,13 +162,14 @@ func (b *base) reserveTokens(r *request.Request) int {
 
 // admits reports whether the system's mode accepts a waiting request:
 // prefill replicas take only requests with prompt work left, decode replicas
-// only prefill-complete migrants.
+// only prefill-complete migrants — plus recompute fallbacks, whose prompt KV
+// was lost in a failed transfer and must be rebuilt on the destination.
 func (b *base) admits(r *request.Request) bool {
 	switch b.cfg.Mode {
 	case ModePrefill:
 		return r.RemainingPrefill() > 0
 	case ModeDecode:
-		return r.RemainingPrefill() == 0
+		return r.RemainingPrefill() == 0 || r.Recompute
 	default:
 		return true
 	}

@@ -515,3 +515,27 @@ func TestAllSystemsDrainMixedWorkload(t *testing.T) {
 		})
 	}
 }
+
+func TestDecodeModeAdmitsRecompute(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Mode = ModeDecode
+	sys, err := NewVLLM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A decode replica normally rejects requests with prompt work left:
+	// their KV is supposed to arrive by migration.
+	stuck := enqueue(sys, 1, request.Chat, 0.05, 0, 128, 8)
+	st := sys.Iterate(0)
+	if !st.Idle || len(sys.Pool().Running()) != 0 {
+		t.Fatalf("decode replica admitted un-prefilled request: idle=%v running=%d", st.Idle, len(sys.Pool().Running()))
+	}
+	// Unless the prompt KV was lost in a failed transfer: the Recompute mark
+	// lets the destination rebuild the prefill locally instead of stranding
+	// the request forever.
+	stuck.Recompute = true
+	drain(t, sys, 2000)
+	if sys.Pool().NumDone() != 1 || stuck.OutputLen() != stuck.MaxNewTokens {
+		t.Fatalf("recompute request did not finish: done=%d output=%d", sys.Pool().NumDone(), stuck.OutputLen())
+	}
+}

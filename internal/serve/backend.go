@@ -18,6 +18,15 @@ type Instance struct {
 	clock      float64
 	iterations int
 	breakdown  metrics.Breakdown
+
+	// halted freezes the instance: the driver stops iterating it (hasWork
+	// reports false), so resident requests make no progress. Fault injection
+	// uses this to model a crashed replica whose work is lost in place.
+	halted bool
+	// stepScale, when positive and not 1, multiplies every iteration's
+	// elapsed time: the straggler knob. Zero (the default) means unscaled,
+	// keeping fault-free runs byte-identical.
+	stepScale float64
 }
 
 // NewInstance wraps a serving system as instance id of a backend.
@@ -49,8 +58,27 @@ func (in *Instance) BumpClock(t float64) {
 	}
 }
 
-// hasWork reports whether the instance has waiting or running requests.
+// SetHalted freezes or thaws the instance (see the halted field). Fault
+// injectors call this at crash and repair instants.
+func (in *Instance) SetHalted(halted bool) { in.halted = halted }
+
+// Halted reports whether the instance is frozen by fault injection.
+func (in *Instance) Halted() bool { return in.halted }
+
+// SetStepScale sets the straggler slowdown factor applied to every
+// iteration's elapsed time (0 or 1: unscaled).
+func (in *Instance) SetStepScale(f float64) { in.stepScale = f }
+
+// StepScale returns the current straggler slowdown factor (0 when unscaled).
+func (in *Instance) StepScale() float64 { return in.stepScale }
+
+// hasWork reports whether the instance has waiting or running requests. A
+// halted (crashed) instance never has work: its resident requests are frozen
+// until fault recovery harvests them.
 func (in *Instance) hasWork() bool {
+	if in.halted {
+		return false
+	}
 	p := in.sys.Pool()
 	return p.NumWaiting() > 0 || p.NumRunning() > 0
 }

@@ -206,6 +206,108 @@ type Autoscaler interface {
 	Tick(now float64, q *Queue) []ScaleAction
 }
 
+// ReplicaFailed reports an injected replica crash: the instance halted
+// abruptly at Time, freezing (and ultimately losing) its queued and running
+// requests along with its cached KV. Recovery, if configured, harvests and
+// requeues the lost work after the detection timeout.
+type ReplicaFailed struct {
+	EventMeta
+	// Instance is the crashed serving instance's ID.
+	Instance int
+	// Lost is the number of resident requests frozen by the crash.
+	Lost int
+	// Reason is the injection's human-readable cause.
+	Reason string
+}
+
+// ReplicaRecovered reports a crashed replica returning at Time: to active
+// service in a static fleet, or to spare (stopped) capacity in an elastic one
+// — where the autoscaler re-provisions replacement capacity as if the crash
+// had been an organic scale-down.
+type ReplicaRecovered struct {
+	EventMeta
+	// Instance is the recovered serving instance's ID.
+	Instance int
+	// Downtime is the failure span in simulated seconds.
+	Downtime float64
+}
+
+// RequestRetried reports a lost request re-entering service: failure
+// detection harvested it off a crashed replica and, after its backoff, the
+// recovery path re-dispatched it (reset to scratch — lost KV is recomputed,
+// and TTFT/TPOT still measure from the original arrival). Time is the
+// re-dispatch instant.
+type RequestRetried struct {
+	EventMeta
+	Req *request.Request
+	// Instance is the replica the retry landed on.
+	Instance int
+	// Attempt is the request's retry ordinal (1 = first retry).
+	Attempt int
+}
+
+// RequestHedged reports a duplicate dispatch for a request whose TTFT
+// deadline is at risk on a suspect (stalled or crashed-but-undetected)
+// replica: a clone races on another active replica, first finish wins, and
+// the loser is cancelled — but billed, having consumed real capacity. Time is
+// the hedge instant.
+type RequestHedged struct {
+	EventMeta
+	Req *request.Request
+	// Instance is the replica the hedge duplicate landed on.
+	Instance int
+}
+
+// FaultActionKind discriminates the actions a FaultInjector reports.
+type FaultActionKind int
+
+const (
+	// FaultReplicaFailed: an injected crash halted a replica.
+	FaultReplicaFailed FaultActionKind = iota
+	// FaultReplicaRecovered: a crashed replica returned.
+	FaultReplicaRecovered
+	// FaultRequestRetried: a lost request was re-dispatched.
+	FaultRequestRetried
+	// FaultRequestHedged: a duplicate dispatch was launched.
+	FaultRequestHedged
+)
+
+// FaultAction is one fault-lifecycle occurrence a FaultInjector took between
+// ticks; the driver wraps each in the matching event so the stream carries
+// the full failure history.
+type FaultAction struct {
+	Kind FaultActionKind
+	// Time is the simulated instant of the underlying occurrence (the fault
+	// schedule's instant, not the tick that drained it).
+	Time float64
+	// Instance is the affected serving instance.
+	Instance int
+	// Req is the affected request (retry and hedge actions).
+	Req *request.Request
+	// Attempt is the retry ordinal; Lost the resident requests frozen by a
+	// crash; Downtime the failure span closed by a recovery.
+	Attempt  int
+	Lost     int
+	Downtime float64
+	// Reason is the injection's human-readable cause.
+	Reason string
+}
+
+// FaultInjector drives fault injection and recovery while a run executes.
+// The driver subscribes it to the event stream ahead of every other observer
+// and calls Tick at every iteration boundary with the processed-time
+// high-water mark and the run's delivery queue; the implementation schedules
+// its injections and recovery steps on the queue at exact instants
+// (interleaved deterministically with arrivals and migrations) and returns
+// the actions taken since the last tick for the driver to emit as events.
+//
+// Implementations must be deterministic and single-use, like the backends
+// they disrupt.
+type FaultInjector interface {
+	Observer
+	Tick(now float64, q *Queue) []FaultAction
+}
+
 // AdmissionDecision classifies one arrival at the admission gate.
 type AdmissionDecision int
 

@@ -66,6 +66,14 @@ type Options struct {
 	// speculation. nil (the default) admits every arrival as submitted and
 	// keeps the run byte-identical to a driver without the hook.
 	Adaptive AdmissionController
+	// Faults, when set, injects failures and drives recovery mid-run: the
+	// driver subscribes it to the event stream ahead of every other observer
+	// and ticks it before the autoscaler at every iteration boundary (so
+	// scaling decisions see the post-fault fleet), emitting the actions it
+	// takes as ReplicaFailed/ReplicaRecovered/RequestRetried/RequestHedged
+	// events. nil (the default) keeps the run byte-identical to a driver
+	// without the hook.
+	Faults FaultInjector
 }
 
 // fill resolves zero values to the shared defaults.
@@ -194,6 +202,11 @@ func (s *Server) Run(src Source) (*Result, error) {
 		// to it.
 		s.observers = append([]Observer{as}, s.observers...)
 	}
+	if fi := s.opts.Faults; fi != nil {
+		// The fault injector observes ahead of everything: its failure
+		// suspicion must reflect an event before controllers react to it.
+		s.observers = append([]Observer{fi}, s.observers...)
+	}
 	s.tracking = len(s.observers) > 0
 	if s.tracking {
 		s.track = make(map[int]*reqTrack)
@@ -203,6 +216,10 @@ func (s *Server) Run(src Source) (*Result, error) {
 			s.nextSnap = s.opts.SnapshotEvery
 		}
 	}
+
+	// Let the injector arm its schedule before any work: injections land on
+	// the delivery queue at exact instants, interleaved with arrivals.
+	s.tickFaults()
 
 	total := 0
 	for {
@@ -261,6 +278,7 @@ func (s *Server) Run(src Source) (*Result, error) {
 			// parks at the next event (which may or may not concern it);
 			// with no events left it can never progress: a genuine deadlock.
 			s.noteIteration(busy)
+			s.tickFaults()
 			s.tickAutoscaler()
 			s.tickAdaptive()
 			if !busy.hasWork() {
@@ -285,6 +303,9 @@ func (s *Server) Run(src Source) (*Result, error) {
 			return nil, fmt.Errorf("serve: instance %d (%s) reported non-positive elapsed %g",
 				busy.id, busy.sys.Name(), st.Elapsed)
 		}
+		if busy.stepScale > 0 && busy.stepScale != 1 {
+			st.Elapsed *= busy.stepScale // injected straggler slowdown
+		}
 		busy.clock += st.Elapsed
 		busy.iterations++
 		total++
@@ -296,6 +317,7 @@ func (s *Server) Run(src Source) (*Result, error) {
 			return nil, err
 		}
 		s.noteIteration(busy)
+		s.tickFaults()
 		s.tickAutoscaler()
 		s.tickAdaptive()
 		if busy.clock > s.opts.MaxSimTime {
@@ -304,6 +326,17 @@ func (s *Server) Run(src Source) (*Result, error) {
 		}
 		if total > s.opts.MaxIterations {
 			return nil, fmt.Errorf("serve: exceeded max iterations %d", s.opts.MaxIterations)
+		}
+	}
+
+	if s.opts.Faults != nil && s.tracking {
+		// Actions taken at the run's final boundary (a repair delivered as the
+		// last queue event, a hedge resolved at the winner's final tick) have
+		// not been drained or event-derived yet: tick once more, then sweep so
+		// every adopted retirement still gets its lifecycle events.
+		s.tickFaults()
+		for _, in := range s.insts {
+			s.noteIteration(in)
 		}
 	}
 
@@ -325,6 +358,36 @@ func (s *Server) Run(src Source) (*Result, error) {
 	}
 	res.Events = s.events
 	return res, nil
+}
+
+// tickFaults lets the fault injector act at an iteration boundary and emits
+// the actions it took — crash and recovery instants land via the delivery
+// queue, so Time stamps carry the scheduled instants, not the tick that
+// drained them.
+func (s *Server) tickFaults() {
+	fi := s.opts.Faults
+	if fi == nil {
+		return
+	}
+	for _, a := range fi.Tick(s.now, &s.queue) {
+		s.bumpNow(a.Time)
+		switch a.Kind {
+		case FaultReplicaFailed:
+			s.emit(ReplicaFailed{EventMeta: s.meta(a.Time), Instance: a.Instance, Lost: a.Lost, Reason: a.Reason})
+		case FaultReplicaRecovered:
+			s.emit(ReplicaRecovered{EventMeta: s.meta(a.Time), Instance: a.Instance, Downtime: a.Downtime})
+		case FaultRequestRetried:
+			// The retried attempt starts from scratch: reset the progress
+			// cursor so its first token re-emits FirstToken (violation flags
+			// survive — a deadline missed once stays missed).
+			if st := s.track[a.Req.ID]; st != nil {
+				st.lastLen = 0
+			}
+			s.emit(RequestRetried{EventMeta: s.meta(a.Time), Req: a.Req, Instance: a.Instance, Attempt: a.Attempt})
+		case FaultRequestHedged:
+			s.emit(RequestHedged{EventMeta: s.meta(a.Time), Req: a.Req, Instance: a.Instance})
+		}
+	}
 }
 
 // tickAutoscaler lets the autoscaler act at an iteration boundary and emits

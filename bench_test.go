@@ -429,3 +429,38 @@ func BenchmarkFaultGrid(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPrefixGrid runs a reduced prefix-caching grid end to end — the
+// closed-loop session workload with caching off and on, under the
+// least-loaded baseline and the prefix-affinity router — reporting the
+// cache headlines (hit rate, prefill tokens saved, TTFT attainment) per
+// cell. This is the macro benchmark covering the shared-prefix machinery:
+// block-hash matching at admission, refcounted sharing, cold-block
+// eviction to the host tier, and affinity routing probes.
+func BenchmarkPrefixGrid(b *testing.B) {
+	setup := experiments.Llama70B()
+	opts := experiments.RunOptions{Seed: 1, Parallel: 1}
+	for _, cached := range []bool{false, true} {
+		for _, router := range []string{"least-loaded", "prefix-affinity"} {
+			name := fmt.Sprintf("off/%s", router)
+			if cached {
+				name = fmt.Sprintf("on/%s", router)
+			}
+			b.Run(name, func(b *testing.B) {
+				var sum *metrics.ClusterSummary
+				for i := 0; i < b.N; i++ {
+					s, err := experiments.PrefixCell(setup, router, cached, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum = s
+				}
+				if sum.Prefix != nil {
+					b.ReportMetric(100*sum.Prefix.HitRate(), "hit%")
+					b.ReportMetric(float64(sum.Prefix.HitTokens), "saved_tok")
+				}
+				b.ReportMetric(100*sum.TTFTAttainment(), "ttft_attain%")
+			})
+		}
+	}
+}

@@ -17,7 +17,10 @@
 // AdaServe vs closed-loop speculation tuning and overload admission under a
 // flash crowd), faults (chaos sweep: replica crash, straggler and
 // KV-transfer link faults × recovery modes none/retry/retry+hedge; -faults
-// replaces the built-in scenarios with a custom schedule).
+// replaces the built-in scenarios with a custom schedule), prefix
+// (shared-prefix KV caching on a multi-turn session workload: hit rate and
+// TTFT attainment across caching off/on × router, including the
+// prefix-affinity policy).
 package main
 
 import (
@@ -39,7 +42,7 @@ import (
 func knownExps() []string {
 	return []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg",
-		"autoscale", "adaptive", "faults", "hardware"}
+		"autoscale", "adaptive", "faults", "prefix", "hardware"}
 }
 
 // parseExps validates the comma-separated -exp list against knownExps,
@@ -61,7 +64,7 @@ func parseExps(expFlag string) (map[string]bool, error) {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,autoscale,adaptive,faults,all)")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (fig1,fig7..fig15,ablations,cluster,disagg,autoscale,adaptive,faults,prefix,all)")
 	modelFlag := flag.String("model", "both", "model setup: llama, qwen, or both")
 	duration := flag.Float64("duration", 120, "trace duration in seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -139,6 +142,9 @@ func main() {
 		if all || want["faults"] {
 			runFaults(setup, opts, customFaults)
 		}
+		if all || want["prefix"] {
+			runPrefix(setup, opts)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
@@ -202,6 +208,17 @@ func runFaults(setup experiments.ModelSetup, opts experiments.RunOptions, custom
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderFaults(pts))
+	fmt.Println()
+}
+
+func runPrefix(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Printf("\n--- Prefix caching: hit rate x TTFT attainment, caching off/on x router (fleet %d, %d tenants, host tier %d blocks) ---\n",
+		experiments.PrefixFleet, experiments.PrefixTenants, experiments.PrefixHostTier)
+	pts, err := experiments.PrefixCaching(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderPrefix(pts))
 	fmt.Println()
 }
 

@@ -34,6 +34,14 @@
 // the saturated fleet provably cannot serve. The two compose (the full
 // closed loop) and -live streams every degrade/reject decision.
 //
+// With -prefix the run replays the multi-turn session workload (per-tenant
+// shared system prompts, each follow-up turn re-sending the full prior
+// conversation, submitted closed-loop as turns finish) with shared-prefix KV
+// caching enabled: admitted requests skip prefill for any prompt prefix whose
+// blocks are already resident, and cold blocks spill to a host offload tier
+// sized by -prefix-tier (reloads pay the modeled interconnect). -live then
+// also streams [pfx] hit/evict/reload lines.
+//
 // With -faults the run replays a deterministic failure schedule — replica
 // crashes, stragglers, KV-transfer link faults, or a Poisson crash hazard —
 // and -recovery picks the response: none, retry (timeout detection, budgeted
@@ -51,6 +59,7 @@
 //	adaserve-sim -replicas 4 -autoscale rate-prop -rate-profile diurnal -live
 //	adaserve-sim -replicas 2 -adaptive -admission -rate-profile spike -live
 //	adaserve-sim -replicas 4 -faults "crash@30+10:r0" -recovery retry+hedge -live
+//	adaserve-sim -replicas 3 -router prefix-affinity -prefix -live
 package main
 
 import (
@@ -63,6 +72,7 @@ import (
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
 	"adaserve/internal/faults"
+	"adaserve/internal/kvcache"
 	"adaserve/internal/mathutil"
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
@@ -149,11 +159,13 @@ func main() {
 	urgent := flag.Float64("urgent", 0, "urgent-request proportion (0 = default 60/20/20 mix)")
 	sloScale := flag.Float64("slo-scale", 1.0, "scale applied to the most urgent SLO")
 	replicas := flag.Int("replicas", 1, "number of serving replicas (cluster mode when > 1)")
-	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware")
+	router := flag.String("router", "slo-aware", "cluster router policy: round-robin, least-loaded, slo-aware, prefix-affinity")
 	rolesFlag := flag.String("roles", "", "disaggregated role split, e.g. 2P2D (implies the replica count)")
 	autoscaleFlag := flag.String("autoscale", "", "elastic-fleet scaling policy: target-queue, rate-prop, slo-feedback (empty: static fleet)")
 	adaptiveFlag := flag.Bool("adaptive", false, "close the loop: retune the speculation envelope from rolling acceptance and attainment (AdaServe only)")
 	admissionFlag := flag.Bool("admission", false, "arm the overload gate: degrade or reject arrivals a saturated fleet cannot serve")
+	prefixFlag := flag.Bool("prefix", false, "enable shared-prefix KV caching and replay the closed-loop multi-turn session workload")
+	prefixTier := flag.Int("prefix-tier", experiments.PrefixHostTier, "host offload tier size in KV blocks for -prefix (0: GPU-only, evicted prefixes are dropped)")
 	faultsFlag := flag.String("faults", "", `fault schedule, e.g. "crash@30+10:r0; slow@60+20:x4; link@40+30:p0.3; hazard@0.01+10" (cluster mode only)`)
 	recoveryFlag := flag.String("recovery", "retry", "fault recovery mode: none, retry, retry+hedge")
 	profile := flag.String("rate-profile", "", "open-loop arrival shape: constant, ramp, spike, diurnal (empty: closed trace replay)")
@@ -171,12 +183,24 @@ func main() {
 	if _, err := cluster.NewRouter(*router); err != nil {
 		log.Fatal(err)
 	}
-	replicasSet := false
+	replicasSet, prefixTierSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "replicas" {
+		switch f.Name {
+		case "replicas":
 			replicasSet = true
+		case "prefix-tier":
+			prefixTierSet = true
 		}
 	})
+	if prefixTierSet && !*prefixFlag {
+		log.Fatal("-prefix-tier needs -prefix")
+	}
+	if *prefixFlag && *profile != "" {
+		log.Fatal("-prefix replays the session workload; drop -rate-profile")
+	}
+	if *prefixTier < 0 {
+		log.Fatalf("-prefix-tier %d: need a non-negative block count", *prefixTier)
+	}
 	roles, nReplicas, err := resolveFleet(*replicas, replicasSet, *rolesFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -226,10 +250,28 @@ func main() {
 	fmt.Printf("model: %s (baseline %.1f ms/token)\n", setup.Name, 1e3*setup.BaselineLatency())
 
 	// Build the source: closed trace replay by default, open-loop with the
-	// chosen rate shape when -rate-profile is set.
+	// chosen rate shape when -rate-profile is set, closed-loop sessions under
+	// -prefix (follow-up turns submitted from the finish observer below).
 	var src serve.Source
 	var traceReqs []*request.Request
-	if rate != nil {
+	var sessions *workload.Sessions
+	var submitSrc *serve.SubmitSource
+	if *prefixFlag {
+		sessions, err = experiments.NewSessions(setup, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		submitSrc = serve.NewSubmitSource()
+		init := sessions.InitialRequests()
+		for _, r := range init {
+			if err := submitSrc.Submit(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		src = submitSrc
+		fmt.Printf("workload: %d multi-turn sessions, closed-loop follow-ups (host tier %d blocks; -duration and -rps ignored)\n",
+			len(init), *prefixTier)
+	} else if rate != nil {
 		src, err = serve.NewOpenLoop(gen, mathutil.NewRNG(mathutil.Hash2(*seed, 0x7a)), rate, maxRate, *duration)
 		if err != nil {
 			log.Fatal(err)
@@ -254,6 +296,10 @@ func main() {
 	var cl *cluster.Cluster
 	var sys sched.System
 	buildOpts := experiments.BuildOptions{Seed: *seed}
+	if *prefixFlag {
+		buildOpts.Prefix = true
+		buildOpts.PrefixHostBlocks = *prefixTier
+	}
 	switch {
 	case policy != nil:
 		eopts := cluster.ElasticOptions{
@@ -340,11 +386,29 @@ func main() {
 	}
 	if *live {
 		fmt.Println()
-		srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) { liveEvent(ev, cl) }))
+		pfx := prefixStatsFn(*prefixFlag, cl, sys)
+		srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) { liveEvent(ev, cl, pfx) }))
+	}
+	var submitErr error
+	if sessions != nil {
+		srv.Subscribe(serve.ObserverFunc(func(ev serve.Event) {
+			e, ok := ev.(serve.RequestFinished)
+			if !ok {
+				return
+			}
+			if next := sessions.FollowUp(e.Req, e.Time); next != nil {
+				if err := submitSrc.Submit(next); err != nil && submitErr == nil {
+					submitErr = err
+				}
+			}
+		}))
 	}
 	rr, err := srv.Run(src)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if submitErr != nil {
+		log.Fatal(submitErr)
 	}
 
 	if cl != nil {
@@ -374,12 +438,57 @@ func main() {
 	if actrl != nil {
 		fmt.Println(actrl.Summary().String())
 	}
+	if pfx := prefixStatsFn(*prefixFlag, nil, sys); pfx != nil {
+		fmt.Println(pfx().String())
+	}
+}
+
+// kvPrefixStatser is implemented by every scheduler through the shared base.
+type kvPrefixStatser interface {
+	KVPrefixStats() (kvcache.PrefixStats, bool)
+}
+
+// prefixStatsFn returns a poller that sums the live prefix-cache counters
+// across the backend's replicas into a printable summary, or nil when -prefix
+// is off.
+func prefixStatsFn(on bool, cl *cluster.Cluster, sys sched.System) func() *metrics.PrefixSummary {
+	if !on {
+		return nil
+	}
+	return func() *metrics.PrefixSummary {
+		tot := &metrics.PrefixSummary{}
+		add := func(s sched.System) {
+			p, ok := s.(kvPrefixStatser)
+			if !ok {
+				return
+			}
+			st, enabled := p.KVPrefixStats()
+			if !enabled {
+				return
+			}
+			tot.Add(metrics.PrefixSummary{
+				Lookups: st.Lookups, Hits: st.Hits, HitTokens: st.HitTokens,
+				Evictions: st.Evictions, HostEvictions: st.HostEvictions,
+				Reloads: st.Reloads, ReloadedTokens: st.ReloadedTokens,
+				ReloadStallTime: st.ReloadStall,
+			})
+		}
+		if cl != nil {
+			for _, rep := range cl.Replicas() {
+				add(rep.System())
+			}
+		} else {
+			add(sys)
+		}
+		return tot
+	}
 }
 
 // liveEvent renders the -live stream: one line per rolling-metric snapshot
-// (with the fleet size when the cluster is elastic), SLO violations the
-// moment they become certain, and every autoscaler action.
-func liveEvent(ev serve.Event, cl *cluster.Cluster) {
+// (with the fleet size when the cluster is elastic, plus a [pfx] cache line
+// when -prefix is on), SLO violations the moment they become certain, and
+// every autoscaler action.
+func liveEvent(ev serve.Event, cl *cluster.Cluster, pfx func() *metrics.PrefixSummary) {
 	switch e := ev.(type) {
 	case serve.Snapshot:
 		s := e.Stats
@@ -400,6 +509,9 @@ func liveEvent(ev serve.Event, cl *cluster.Cluster) {
 			}
 		}
 		fmt.Println()
+		if pfx != nil {
+			fmt.Printf("[pfx  t=%7.1fs] %s\n", e.Time, pfx())
+		}
 	case serve.SLOViolated:
 		fmt.Printf("[viol t=%7.1fs] request %d (%s) missed its %s SLO\n",
 			e.Time, e.Req.ID, e.Req.Category, e.Kind)
@@ -495,6 +607,9 @@ func printCluster(res *cluster.Result, n int) {
 	}
 	if s.Admission != nil {
 		fmt.Println(s.Admission.String())
+	}
+	if s.Prefix != nil {
+		fmt.Println(s.Prefix.String())
 	}
 	if s.Faults != nil {
 		fmt.Printf("faults %s\n", s.Faults)

@@ -239,7 +239,7 @@ func TestLiveEventRendersEveryKind(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			out := captureStdout(t, func() { liveEvent(c.ev, nil) })
+			out := captureStdout(t, func() { liveEvent(c.ev, nil, nil) })
 			for _, w := range c.want {
 				if !strings.Contains(out, w) {
 					t.Fatalf("liveEvent output %q missing %q", out, w)
@@ -289,4 +289,58 @@ func captureStdout(t *testing.T, f func()) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestPrefixStatsFn covers the -prefix live-poller wiring: off returns no
+// poller at all, a prefix-enabled fleet sums per-replica counters, and a
+// prefix-enabled single system reports through the same path.
+func TestPrefixStatsFn(t *testing.T) {
+	setup := experiments.Llama70B()
+	if prefixStatsFn(false, nil, nil) != nil {
+		t.Fatal("-prefix off must disable the poller")
+	}
+
+	bopts := experiments.BuildOptions{Seed: 1, Prefix: true, PrefixHostBlocks: 64}
+	cl, err := experiments.BuildCluster(experiments.SysAdaServe, setup, 2, "least-loaded", bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx := prefixStatsFn(true, cl, nil)
+	if pfx == nil {
+		t.Fatal("-prefix on returned no poller")
+	}
+	sum := pfx()
+	if sum == nil || sum.Lookups != 0 {
+		t.Fatalf("idle fleet summary %+v, want zero counters", sum)
+	}
+
+	sys, err := experiments.Build(experiments.SysAdaServe, setup, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := prefixStatsFn(true, nil, sys)(); sum == nil {
+		t.Fatal("single-system poller returned nil summary")
+	}
+
+	// A prefix-disabled backend contributes nothing even when polled.
+	plain, err := experiments.Build(experiments.SysAdaServe, setup, experiments.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := prefixStatsFn(true, nil, plain)(); sum.Lookups != 0 || sum.Hits != 0 {
+		t.Fatalf("disabled backend leaked counters: %+v", sum)
+	}
+}
+
+// TestLiveEventPrefixLine covers the [pfx] cache line appended to snapshots.
+func TestLiveEventPrefixLine(t *testing.T) {
+	out := captureStdout(t, func() {
+		liveEvent(serve.Snapshot{EventMeta: serve.EventMeta{Time: 12}, Stats: metrics.RollingStats{}}, nil,
+			func() *metrics.PrefixSummary {
+				return &metrics.PrefixSummary{Lookups: 4, Hits: 3, HitTokens: 96}
+			})
+	})
+	if !strings.Contains(out, "[pfx") || !strings.Contains(out, "75.0% hit") {
+		t.Fatalf("snapshot missing the prefix cache line:\n%s", out)
+	}
 }

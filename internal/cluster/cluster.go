@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"adaserve/internal/gpu"
+	"adaserve/internal/kvcache"
 	"adaserve/internal/metrics"
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
@@ -635,8 +636,41 @@ func (c *Cluster) results(reqs []*request.Request, rr *serve.Result) *Result {
 		Roles:     c.roleStats(),
 		Transfer:  c.stats,
 		Autoscale: &as,
+		Prefix:    c.prefixSummary(),
 	}
 	return res
+}
+
+// prefixSummary sums the shared-prefix cache counters over replicas whose
+// systems run with prefix caching enabled; nil when none does.
+func (c *Cluster) prefixSummary() *metrics.PrefixSummary {
+	var out *metrics.PrefixSummary
+	for _, rep := range c.replicas {
+		p, ok := rep.System().(interface {
+			KVPrefixStats() (kvcache.PrefixStats, bool)
+		})
+		if !ok {
+			continue
+		}
+		st, enabled := p.KVPrefixStats()
+		if !enabled {
+			continue
+		}
+		if out == nil {
+			out = &metrics.PrefixSummary{}
+		}
+		out.Add(metrics.PrefixSummary{
+			Lookups:         st.Lookups,
+			Hits:            st.Hits,
+			HitTokens:       st.HitTokens,
+			Evictions:       st.Evictions,
+			HostEvictions:   st.HostEvictions,
+			Reloads:         st.Reloads,
+			ReloadedTokens:  st.ReloadedTokens,
+			ReloadStallTime: st.ReloadStall,
+		})
+	}
+	return out
 }
 
 // roleStats aggregates TTFT/TPOT attainment by replica role: TTFT over the

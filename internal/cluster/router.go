@@ -313,7 +313,72 @@ func (s *SLOAware) routeRelaxed(res []residency, island int) int {
 	return best
 }
 
-// RouterNames lists the built-in policies accepted by NewRouter.
+// PrefixProber is implemented by serving systems whose KV allocator can
+// report how many of a request's prompt tokens it already holds cached
+// (sched systems promote it from their shared base). The probe must be
+// read-only and free of side effects on cache state.
+type PrefixProber interface {
+	PrefixCachedTokens(r *request.Request) int
+}
+
+// PrefixAffinity routes each arrival to the replica holding the longest
+// cached prefix of its prompt, so sessions with shared system prompts and
+// follow-up turns land where their KV already lives and skip that prefill
+// entirely. Replicas tied on cached length — in particular the common cold
+// case where nobody holds anything — fall back to least-loaded dispatch, and
+// replicas whose systems expose no prefix cache probe as 0, so the policy
+// degrades cleanly to LeastLoaded on a prefix-disabled cluster and under
+// fault/drain (the driver pre-filters the candidate set). Migrations are
+// pure load balancing: the decode side gains nothing from prefix locality,
+// its KV moves with it.
+type PrefixAffinity struct{}
+
+// Name implements Router.
+func (PrefixAffinity) Name() string { return "prefix-affinity" }
+
+// Route implements Router.
+func (PrefixAffinity) Route(r *request.Request, replicas []*Replica) int {
+	cached := make([]int, len(replicas))
+	maxCached := 0
+	for i, rep := range replicas {
+		if p, ok := rep.System().(PrefixProber); ok {
+			cached[i] = p.PrefixCachedTokens(r)
+			if cached[i] > maxCached {
+				maxCached = cached[i]
+			}
+		}
+	}
+	if maxCached == 0 {
+		return LeastLoaded{}.Route(r, replicas)
+	}
+	// Among the replicas holding the longest cached prefix, take the least
+	// loaded (lowest index on ties) — affinity must not dog-pile one replica
+	// once the hot prefix is resident on several.
+	load := (*Replica).QueuedTokens
+	if prefillDispatch(replicas) {
+		load = (*Replica).QueuedPrefillTokens
+	}
+	best, bestTokens := -1, 0
+	for i, rep := range replicas {
+		if cached[i] != maxCached {
+			continue
+		}
+		if t := load(rep); best < 0 || t < bestTokens {
+			best, bestTokens = i, t
+		}
+	}
+	return best
+}
+
+// RouteDecode implements Router.
+func (PrefixAffinity) RouteDecode(r *request.Request, replicas []*Replica) int {
+	return LeastLoaded{}.RouteDecode(r, replicas)
+}
+
+// RouterNames lists the load-signal policies the standard experiment sweeps
+// iterate (prefix-affinity is excluded: it only differentiates itself on
+// session workloads with a prefix cache, which have their own sweep — it is
+// still accepted by NewRouter).
 func RouterNames() []string { return []string{"round-robin", "least-loaded", "slo-aware"} }
 
 // NewRouter builds a built-in router by name.
@@ -325,7 +390,9 @@ func NewRouter(name string) (Router, error) {
 		return LeastLoaded{}, nil
 	case "slo-aware":
 		return &SLOAware{}, nil
+	case "prefix-affinity":
+		return PrefixAffinity{}, nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown router %q (have round-robin, least-loaded, slo-aware)", name)
+		return nil, fmt.Errorf("cluster: unknown router %q (have round-robin, least-loaded, slo-aware, prefix-affinity)", name)
 	}
 }

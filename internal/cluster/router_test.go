@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"adaserve/internal/request"
+	"adaserve/internal/sched"
 )
 
 // loadReplica enqueues a synthetic request with the given outstanding
@@ -238,5 +239,83 @@ func TestNewRouterNames(t *testing.T) {
 	}
 	if _, err := NewRouter("random"); err == nil {
 		t.Fatal("unknown router accepted")
+	}
+}
+
+// proberSystem is a fakeSystem whose KV cache pretends to hold a fixed
+// number of cached prompt tokens, to exercise the prefix-affinity policy
+// without a real prefix-enabled allocator.
+type proberSystem struct {
+	*fakeSystem
+	cached int
+}
+
+func (p *proberSystem) PrefixCachedTokens(*request.Request) int { return p.cached }
+
+func proberCluster(t *testing.T, cached []int) *Cluster {
+	t.Helper()
+	systems := make([]sched.System, len(cached))
+	for i, c := range cached {
+		if c < 0 { // a replica whose system is not a PrefixProber at all
+			systems[i] = newFake("fake")
+			continue
+		}
+		systems[i] = &proberSystem{fakeSystem: newFake("fake"), cached: c}
+	}
+	c, err := New(systems, PrefixAffinity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPrefixAffinityRoutesToLongestCachedPrefix(t *testing.T) {
+	c := proberCluster(t, []int{64, 512, 128})
+	reps := c.Replicas()
+	// Replica 1 holds the longest cached prefix; pile load on it to prove
+	// affinity overrides the load signal.
+	loadReplica(reps[1], 100, 500, 0.05)
+	if got := (PrefixAffinity{}).Route(tightReq(1), reps); got != 1 {
+		t.Fatalf("routed to replica %d, want 1 (longest cached prefix)", got)
+	}
+}
+
+func TestPrefixAffinityTieBreaksLeastLoaded(t *testing.T) {
+	c := proberCluster(t, []int{512, 512, 0})
+	reps := c.Replicas()
+	loadReplica(reps[0], 100, 300, 0.05)
+	loadReplica(reps[1], 101, 100, 0.05)
+	if got := (PrefixAffinity{}).Route(tightReq(1), reps); got != 1 {
+		t.Fatalf("routed to replica %d, want 1 (cached tie, lighter load)", got)
+	}
+}
+
+func TestPrefixAffinityColdFleetFallsBackToLeastLoaded(t *testing.T) {
+	// Nothing cached anywhere (including a replica that cannot even be
+	// probed): the policy must behave exactly like least-loaded.
+	c := proberCluster(t, []int{0, 0, -1})
+	reps := c.Replicas()
+	loadReplica(reps[0], 100, 300, 0.05)
+	loadReplica(reps[2], 102, 200, 0.05)
+	r := tightReq(1)
+	want := (LeastLoaded{}).Route(r, reps)
+	if got := (PrefixAffinity{}).Route(r, reps); got != want {
+		t.Fatalf("cold-fleet route %d, want least-loaded's %d", got, want)
+	}
+	if want != 1 {
+		t.Fatalf("least-loaded picked %d, scenario wants 1", want)
+	}
+}
+
+func TestPrefixAffinityDecodeDelegatesToLeastLoaded(t *testing.T) {
+	c := proberCluster(t, []int{512, 0, 0})
+	reps := c.Replicas()
+	loadReplica(reps[0], 100, 300, 0.05)
+	r := tightReq(1)
+	if got, want := (PrefixAffinity{}).RouteDecode(r, reps), (LeastLoaded{}).RouteDecode(r, reps); got != want {
+		t.Fatalf("decode route %d, want least-loaded's %d", got, want)
+	}
+	if (PrefixAffinity{}).Name() != "prefix-affinity" {
+		t.Fatal("wrong router name")
 	}
 }

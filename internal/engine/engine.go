@@ -133,6 +133,22 @@ type PrefillItem struct {
 	Chunk int
 }
 
+// drainReloadStall collects the pending host-tier KV reload latency of
+// requests entering a prefill pass, zeroing it so it is charged exactly
+// once — on the request's first pass after admission. Returns 0 for batches
+// without reloads, leaving pass latency bitwise unchanged when prefix
+// caching is off.
+func drainReloadStall(items []PrefillItem) float64 {
+	stall := 0.0
+	for _, it := range items {
+		if s := it.Req.ReloadStall; s > 0 {
+			stall += s
+			it.Req.ReloadStall = 0
+		}
+	}
+	return stall
+}
+
 // Prefill runs one batched prefill pass over the items. Attention cost is
 // exact: each new token attends over all prior tokens of its sequence.
 func (e *Engine) Prefill(items []PrefillItem) float64 {
@@ -156,7 +172,7 @@ func (e *Engine) Prefill(items []PrefillItem) float64 {
 	}
 	lat := e.targetCost.ForwardLatency(gpu.BatchShape{
 		Tokens: totalTokens, Seqs: len(items), KVTokens: kvReads,
-	})
+	}) + drainReloadStall(items)
 	for _, it := range items {
 		it.Req.PrefillDone += it.Chunk
 		if it.Req.RemainingPrefill() == 0 {
@@ -260,7 +276,7 @@ func (e *Engine) Mixed(decode []*request.Request, prefill []PrefillItem) (*Decod
 	}
 	lat := e.targetCost.ForwardLatency(gpu.BatchShape{
 		Tokens: totalTokens, Seqs: len(decode) + len(prefill), KVTokens: kv,
-	})
+	}) + drainReloadStall(prefill)
 	for _, it := range prefill {
 		it.Req.PrefillDone += it.Chunk
 		if it.Req.RemainingPrefill() == 0 {
@@ -419,7 +435,7 @@ func (e *Engine) VerifyTreesWithPrefill(items []VerifyItem, prefill []PrefillIte
 	}
 	res.GPUTime = e.targetCost.ForwardLatency(gpu.BatchShape{
 		Tokens: totalTokens, Seqs: len(items) + len(prefill), KVTokens: kv,
-	})
+	}) + drainReloadStall(prefill)
 	for _, it := range prefill {
 		it.Req.PrefillDone += it.Chunk
 		if it.Req.RemainingPrefill() == 0 {

@@ -297,3 +297,31 @@ func TestBaselineLatencyExposed(t *testing.T) {
 		t.Fatal("baseline latency should be positive")
 	}
 }
+
+// TestPrefillChargesReloadStallOnce pins the host-tier reload economics: a
+// pending KV reload stall is added to the request's first prefill pass and
+// drained so later passes pay nothing; stall-free batches are bitwise
+// unchanged.
+func TestPrefillChargesReloadStallOnce(t *testing.T) {
+	e := newEngine(t)
+	clean := request.New(1, request.Chat, 0.05, 0, 64, 8, 7)
+	clean.Phase = request.Prefilling
+	base := e.Prefill([]PrefillItem{{Req: clean, Chunk: 32}})
+
+	e2 := newEngine(t)
+	stalled := request.New(2, request.Chat, 0.05, 0, 64, 8, 7)
+	stalled.Phase = request.Prefilling
+	stalled.ReloadStall = 0.025
+	first := e2.Prefill([]PrefillItem{{Req: stalled, Chunk: 32}})
+	if want := base + 0.025; first != want {
+		t.Fatalf("first pass latency %g, want base %g + 0.025 stall", first, want)
+	}
+	if stalled.ReloadStall != 0 {
+		t.Fatalf("stall %g not drained after the first pass", stalled.ReloadStall)
+	}
+	second := e2.Prefill([]PrefillItem{{Req: stalled, Chunk: 32}})
+	clean2 := e.Prefill([]PrefillItem{{Req: clean, Chunk: 32}})
+	if second != clean2 {
+		t.Fatalf("second pass %g still carries the stall (clean %g)", second, clean2)
+	}
+}

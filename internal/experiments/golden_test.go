@@ -59,6 +59,14 @@ type goldenRow struct {
 	Hedged    int     `json:"hedged,omitempty"`
 	Fallbacks int     `json:"fallbacks,omitempty"`
 	MTTR      float64 `json:"mttr,omitempty"`
+
+	// Prefix-grid columns (likewise zero and omitted for every other
+	// experiment, so adding them left bench.json byte-identical).
+	HitRate     float64 `json:"hitRate,omitempty"`
+	SavedTokens int     `json:"savedTokens,omitempty"`
+	PrefixEvict int     `json:"prefixEvict,omitempty"`
+	Reloads     int     `json:"reloads,omitempty"`
+	ReloadStall float64 `json:"reloadStall,omitempty"`
 }
 
 // goldenOpts is the tiny fixed-seed grid: short enough for CI, long enough

@@ -97,3 +97,26 @@ func TestParseSystem(t *testing.T) {
 		t.Fatalf("typo accepted: %v", err)
 	}
 }
+
+func TestRenderPrefix(t *testing.T) {
+	on := renderSum(72, 72, 360)
+	on.Prefix = &metrics.PrefixSummary{
+		Lookups: 72, Hits: 60, HitTokens: 87008,
+		Evictions: 4, Reloads: 2, ReloadedTokens: 32,
+	}
+	pts := []PrefixPoint{
+		{Router: "least-loaded", Cached: false, Sum: renderSum(72, 44, 310)},
+		{Router: "prefix-affinity", Cached: true, Sum: on},
+	}
+	out := RenderPrefix(pts)
+	for _, want := range []string{
+		"router", "prefix", "hit%", "savedTok",
+		"least-loaded", "off", "prefix-affinity", "on",
+		"87008", // tokens saved on the cached row
+		"83.3",  // 60/72 hit rate
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

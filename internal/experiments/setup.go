@@ -145,6 +145,12 @@ type BuildOptions struct {
 	// the reference path the byte-identical determinism tests compare
 	// cached runs against.
 	DisableDistCache bool
+	// Prefix enables shared-prefix KV reuse on the system's allocator.
+	Prefix bool
+	// PrefixHostBlocks sizes the host offload tier in KV blocks (0: no
+	// tier — cold prefix blocks evicted under pressure are dropped). Only
+	// meaningful with Prefix set; reloads are priced over PCIe4.
+	PrefixHostBlocks int
 }
 
 // Build assembles a ready-to-run serving system of the given kind on the
@@ -181,6 +187,15 @@ func Build(kind SystemKind, setup ModelSetup, opts BuildOptions) (sched.System, 
 
 	kvTokens := targetCost.KVCapacityTokens(0.10)
 	kv := kvcache.MustNew(kvcache.ConfigForTokens(kvTokens, 16))
+	if opts.Prefix {
+		reload := gpu.KVTransfer{Model: setup.Target, Link: gpu.PCIe4}
+		if err := kv.EnablePrefix(kvcache.PrefixConfig{
+			HostBlocks:    opts.PrefixHostBlocks,
+			ReloadLatency: reload.Latency,
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	maxBatch := opts.MaxBatch
 	if maxBatch == 0 {

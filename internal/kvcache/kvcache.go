@@ -42,10 +42,15 @@ func ConfigForTokens(capacityTokens, blockSize int) Config {
 	return Config{BlockSize: blockSize, NumBlocks: blocks}
 }
 
-// seq tracks one sequence's allocation.
+// seq tracks one sequence's allocation. With prefix caching enabled, hashes
+// runs parallel to blocks over the prompt's full blocks: a non-zero entry is
+// the fingerprint of a registry-backed (shared or shareable) block, 0 marks a
+// private block. hashes is always at most as long as blocks and empty when
+// prefix caching is off.
 type seq struct {
 	blocks []int
 	tokens int
+	hashes []uint64
 }
 
 // Allocator manages the block pool. It is not safe for concurrent use; the
@@ -54,6 +59,10 @@ type Allocator struct {
 	cfg  Config
 	free []int
 	seqs map[int]*seq
+
+	// prefix is nil unless EnablePrefix was called; every shared-prefix path
+	// gates on it so the disabled allocator behaves exactly as before.
+	prefix *prefixState
 
 	// PeakUsedBlocks records the allocation high-water mark.
 	PeakUsedBlocks int
@@ -99,7 +108,7 @@ func (a *Allocator) CanAllocate(seqID, additional int) bool {
 		cur = s.tokens
 	}
 	need := a.blocksFor(cur+additional) - a.blocksFor(cur)
-	return need <= len(a.free)
+	return need <= a.availableBlocks()
 }
 
 // Allocate registers a new sequence with tokens tokens. It fails if the
@@ -112,13 +121,14 @@ func (a *Allocator) Allocate(seqID, tokens int) error {
 		return fmt.Errorf("kvcache: negative token count %d", tokens)
 	}
 	need := a.blocksFor(tokens)
-	if need > len(a.free) {
+	if avail := a.availableBlocks(); need > avail {
 		a.Failures++
-		return fmt.Errorf("kvcache: need %d blocks, %d free", need, len(a.free))
+		return fmt.Errorf("kvcache: need %d blocks, %d free", need, avail)
 	}
 	s := &seq{tokens: tokens}
 	for i := 0; i < need; i++ {
-		s.blocks = append(s.blocks, a.pop())
+		id, _ := a.popAvailable()
+		s.blocks = append(s.blocks, id)
 	}
 	a.seqs[seqID] = s
 	a.updatePeak()
@@ -134,13 +144,33 @@ func (a *Allocator) Extend(seqID, n int) error {
 	if n < 0 {
 		return fmt.Errorf("kvcache: negative extension %d", n)
 	}
+	// Copy-on-write: appending tokens into a partially filled block that is
+	// registry-backed would diverge from the cached content every sharer
+	// sees, so the sequence must take a private copy of that block first.
+	cow := -1
+	if n > 0 && s.tokens%a.cfg.BlockSize != 0 {
+		if i := len(s.blocks) - 1; i >= 0 && i < len(s.hashes) && s.hashes[i] != 0 {
+			cow = i
+		}
+	}
 	need := a.blocksFor(s.tokens+n) - a.blocksFor(s.tokens)
-	if need > len(a.free) {
+	extra := 0
+	if cow >= 0 {
+		extra = 1
+	}
+	if avail := a.availableBlocks(); need+extra > avail {
 		a.Failures++
-		return fmt.Errorf("kvcache: need %d blocks, %d free", need, len(a.free))
+		return fmt.Errorf("kvcache: need %d blocks, %d free", need+extra, avail)
+	}
+	if cow >= 0 {
+		id, _ := a.popAvailable()
+		a.release(s.hashes[cow])
+		s.blocks[cow] = id
+		s.hashes[cow] = 0
 	}
 	for i := 0; i < need; i++ {
-		s.blocks = append(s.blocks, a.pop())
+		id, _ := a.popAvailable()
+		s.blocks = append(s.blocks, id)
 	}
 	s.tokens += n
 	a.updatePeak()
@@ -160,9 +190,19 @@ func (a *Allocator) Shrink(seqID, n int) error {
 	s.tokens -= n
 	keep := a.blocksFor(s.tokens)
 	for len(s.blocks) > keep {
-		last := s.blocks[len(s.blocks)-1]
-		s.blocks = s.blocks[:len(s.blocks)-1]
-		a.free = append(a.free, last)
+		i := len(s.blocks) - 1
+		last := s.blocks[i]
+		s.blocks = s.blocks[:i]
+		var h uint64
+		if i < len(s.hashes) {
+			h = s.hashes[i]
+			s.hashes = s.hashes[:i]
+		}
+		if h != 0 {
+			a.release(h)
+		} else {
+			a.free = append(a.free, last)
+		}
 	}
 	return nil
 }
@@ -173,7 +213,17 @@ func (a *Allocator) Free(seqID int) error {
 	if !ok {
 		return fmt.Errorf("kvcache: sequence %d not allocated", seqID)
 	}
-	a.free = append(a.free, s.blocks...)
+	if len(s.hashes) == 0 {
+		a.free = append(a.free, s.blocks...)
+	} else {
+		for i, b := range s.blocks {
+			if i < len(s.hashes) && s.hashes[i] != 0 {
+				a.release(s.hashes[i])
+			} else {
+				a.free = append(a.free, b)
+			}
+		}
+	}
 	delete(a.seqs, seqID)
 	return nil
 }

@@ -197,6 +197,9 @@ type ClusterSummary struct {
 	// Faults reports what an injected fault schedule did and what recovery
 	// bought back. Nil when no faults ran.
 	Faults *FaultSummary
+	// Prefix reports the shared-prefix KV cache activity summed over
+	// replicas. Nil when prefix caching is disabled.
+	Prefix *PrefixSummary
 }
 
 // TTFTAttainment returns the cluster-wide TTFT attainment fraction.

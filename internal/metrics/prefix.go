@@ -1,0 +1,53 @@
+package metrics
+
+import "fmt"
+
+// PrefixSummary aggregates the shared-prefix KV cache activity of a run:
+// how often admissions found their prompt's prefix already resident, how
+// much prefill work that saved, and what the cold-block eviction / host-tier
+// reload economics cost. Summed across replicas for cluster runs.
+type PrefixSummary struct {
+	// Lookups counts admissions that attempted a prefix match; Hits those
+	// that matched at least one block.
+	Lookups, Hits int
+	// HitTokens is the prompt tokens served from cache — prefill the
+	// admitted requests skipped.
+	HitTokens int
+	// Evictions counts cold shared blocks reclaimed from GPUs (demoted to
+	// the host tier or dropped); HostEvictions counts host-tier entries
+	// dropped under host-capacity pressure.
+	Evictions, HostEvictions int
+	// Reloads counts host-resident blocks promoted back to a GPU on a
+	// match, covering ReloadedTokens tokens; ReloadStallTime is the summed
+	// interconnect latency those reloads charged to admitted requests.
+	Reloads         int
+	ReloadedTokens  int
+	ReloadStallTime float64
+}
+
+// HitRate returns the fraction of prefix lookups that hit.
+func (p PrefixSummary) HitRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Lookups)
+}
+
+// Add accumulates another replica's prefix counters into p.
+func (p *PrefixSummary) Add(o PrefixSummary) {
+	p.Lookups += o.Lookups
+	p.Hits += o.Hits
+	p.HitTokens += o.HitTokens
+	p.Evictions += o.Evictions
+	p.HostEvictions += o.HostEvictions
+	p.Reloads += o.Reloads
+	p.ReloadedTokens += o.ReloadedTokens
+	p.ReloadStallTime += o.ReloadStallTime
+}
+
+// String renders the one-line prefix-cache rollup.
+func (p PrefixSummary) String() string {
+	return fmt.Sprintf("prefix: %.1f%% hit (%d/%d), %d tokens saved, %d evictions (%d host drops), %d reloads (%d tokens, %.1f ms stall)",
+		100*p.HitRate(), p.Hits, p.Lookups, p.HitTokens,
+		p.Evictions, p.HostEvictions, p.Reloads, p.ReloadedTokens, 1e3*p.ReloadStallTime)
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrefixSummaryHitRate(t *testing.T) {
+	var p PrefixSummary
+	if got := p.HitRate(); got != 0 {
+		t.Fatalf("zero-lookup hit rate %g, want 0", got)
+	}
+	p = PrefixSummary{Lookups: 8, Hits: 6}
+	if got := p.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate %g, want 0.75", got)
+	}
+}
+
+func TestPrefixSummaryAdd(t *testing.T) {
+	a := PrefixSummary{
+		Lookups: 10, Hits: 6, HitTokens: 640,
+		Evictions: 3, HostEvictions: 1,
+		Reloads: 2, ReloadedTokens: 128, ReloadStallTime: 0.5,
+	}
+	b := PrefixSummary{
+		Lookups: 5, Hits: 5, HitTokens: 320,
+		Evictions: 1, HostEvictions: 2,
+		Reloads: 1, ReloadedTokens: 64, ReloadStallTime: 0.25,
+	}
+	a.Add(b)
+	want := PrefixSummary{
+		Lookups: 15, Hits: 11, HitTokens: 960,
+		Evictions: 4, HostEvictions: 3,
+		Reloads: 3, ReloadedTokens: 192, ReloadStallTime: 0.75,
+	}
+	if a != want {
+		t.Fatalf("Add gave %+v, want %+v", a, want)
+	}
+}
+
+func TestPrefixSummaryString(t *testing.T) {
+	p := PrefixSummary{
+		Lookups: 12, Hits: 9, HitTokens: 4096,
+		Evictions: 2, HostEvictions: 1,
+		Reloads: 3, ReloadedTokens: 96, ReloadStallTime: 0.0105,
+	}
+	s := p.String()
+	for _, want := range []string{
+		"75.0% hit", "(9/12)", "4096 tokens saved",
+		"2 evictions", "1 host drops", "3 reloads", "96 tokens", "10.5 ms stall",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -140,9 +140,14 @@ type Rolling struct {
 	totalAccept  int
 	perClass     [request.NumCategories]RollingClass
 
-	// recent holds finishes sorted by time; window counters are maintained
-	// on insert and evict.
+	// recent holds the finishes still inside the window, sorted by time in
+	// recent[head:]; window counters are maintained on insert and evict.
+	// Eviction advances head and compaction moves the live window to the
+	// front once the dead prefix dominates, so a long run's backing array
+	// stays proportional to the window population instead of growing with
+	// (and retaining) every finish ever recorded.
 	recent        []finishRec
+	head          int
 	winFinished   int
 	winAttained   int
 	winTTFT       int
@@ -209,11 +214,11 @@ func (ro *Rolling) Finished(r *request.Request) {
 	}
 }
 
-// insert keeps recent sorted by finish time (stable for equal times: new
-// records go after existing ones, so eviction order is deterministic).
+// insert keeps recent[head:] sorted by finish time (stable for equal times:
+// new records go after existing ones, so eviction order is deterministic).
 func (ro *Rolling) insert(rec finishRec) {
 	at := len(ro.recent)
-	for at > 0 && ro.recent[at-1].time > rec.time {
+	for at > ro.head && ro.recent[at-1].time > rec.time {
 		at--
 	}
 	ro.recent = append(ro.recent, finishRec{})
@@ -221,12 +226,29 @@ func (ro *Rolling) insert(rec finishRec) {
 	ro.recent[at] = rec
 }
 
+// compact moves the live window to the front of the backing array when the
+// evicted prefix is at least as long as the live tail, keeping eviction
+// amortized O(1) while bounding retention at ~2× the window population.
+func (ro *Rolling) compact() {
+	if ro.head == 0 || ro.head < len(ro.recent)-ro.head {
+		return
+	}
+	n := copy(ro.recent, ro.recent[ro.head:])
+	tail := ro.recent[n:]
+	for i := range tail {
+		tail[i] = finishRec{}
+	}
+	ro.recent = ro.recent[:n]
+	ro.head = 0
+}
+
 // evict drops finishes that aged out of the window ending at now.
 func (ro *Rolling) evict(now float64) {
 	cutoff := now - ro.window
-	for len(ro.recent) > 0 && ro.recent[0].time < cutoff {
-		rec := ro.recent[0]
-		ro.recent = ro.recent[1:]
+	for ro.head < len(ro.recent) && ro.recent[ro.head].time < cutoff {
+		rec := ro.recent[ro.head]
+		ro.recent[ro.head] = finishRec{}
+		ro.head++
 		cls := &ro.perClass[rec.cat]
 		ro.winFinished--
 		cls.WindowFinished--
@@ -240,6 +262,7 @@ func (ro *Rolling) evict(now float64) {
 			cls.WindowGoodTokens -= rec.tokens
 		}
 	}
+	ro.compact()
 }
 
 // Snapshot materializes the rolling view at simulated time now. queued and

@@ -163,3 +163,33 @@ func TestRollingMatchesSummarize(t *testing.T) {
 		}
 	}
 }
+
+// TestRollingBoundedRetention regression-tests the eviction leak: evict must
+// zero aged-out records and compaction must keep the backing array
+// proportional to the window population, so a long run's Rolling does not
+// accumulate every finish ever recorded. Before the fix, evict resliced from
+// the head and the array grew without bound.
+func TestRollingBoundedRetention(t *testing.T) {
+	const window, step = 1.0, 0.01
+	ro := NewRolling(window)
+	pop := int(window/step) + 1 // finishes alive inside one window
+	maxLen := 0
+	for i := 0; i < 20_000; i++ {
+		done := float64(i) * step
+		r := finishedReq(i, request.Chat, 1, done-0.5, done-0.2, done, 4)
+		ro.Arrived(r)
+		ro.Finished(r)
+		ro.Snapshot(done, 0, 0) // evicts everything older than done-window
+		if n := len(ro.recent); n > maxLen {
+			maxLen = n
+		}
+		if ro.winFinished > pop {
+			t.Fatalf("window holds %d finishes, expected at most %d", ro.winFinished, pop)
+		}
+	}
+	// Compaction bounds the slice at ~2× the window population, independent
+	// of run length.
+	if bound := 2*pop + 2; maxLen > bound {
+		t.Fatalf("backing slice grew to %d with window population %d (bound %d)", maxLen, pop, bound)
+	}
+}

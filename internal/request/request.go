@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"adaserve/internal/lm"
+	"adaserve/internal/mathutil"
 )
 
 // Category identifies the application class of a request (Table 2).
@@ -101,6 +102,14 @@ type Request struct {
 	// Seed drives this request's synthetic text; two requests never share
 	// token streams.
 	Seed uint64
+	// PromptSegs optionally decomposes the prompt into content segments for
+	// prefix caching: a session turn is [shared system prompt, prior turns...,
+	// new user turn], and two requests share KV-cacheable content exactly
+	// where their segment decompositions agree position by position. Segment
+	// lengths must sum to PromptLen. nil means the whole prompt is one
+	// request-private segment derived from Seed, so requests without session
+	// structure never alias each other's cache entries.
+	PromptSegs []PromptSegment
 
 	// Phase is the current lifecycle stage.
 	Phase Phase
@@ -147,6 +156,55 @@ type Request struct {
 	// its draft-tree expansion, so verification commits exactly one token
 	// per step (plain autoregressive progress).
 	NoSpec bool
+	// ReloadStall is the pending host-tier reload latency of this request's
+	// cached prefix: set at admission when prefix blocks were matched on the
+	// host offload tier, and consumed (added to the pass latency, then
+	// zeroed) by the engine the first time the request joins a prefill pass
+	// — the reload must complete before attention can read those blocks, so
+	// the stall lands inside TTFT.
+	ReloadStall float64
+}
+
+// PromptSegment is a run of prompt tokens with stable content identity: the
+// i-th token of the segment has content seed Hash2(Seed, i), independent of
+// where the segment sits in a particular request's prompt history. Session
+// workloads reuse segments (the tenant's system prompt, earlier turns)
+// across requests, which is what makes their KV prefixes shareable.
+type PromptSegment struct {
+	Seed uint64
+	Len  int
+}
+
+// PromptSeeds returns the content seeds of the first n prompt tokens
+// (clipped to PromptLen): the position-stable token identities prefix
+// caching hashes into block fingerprints. Two requests agree on a position's
+// seed iff their segment decompositions agree up to that position.
+func (r *Request) PromptSeeds(n int) []uint64 {
+	if n > r.PromptLen {
+		n = r.PromptLen
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	segs := r.PromptSegs
+	if segs == nil {
+		segs = []PromptSegment{{Seed: r.Seed, Len: r.PromptLen}}
+	}
+	for _, seg := range segs {
+		for i := 0; i < seg.Len && len(out) < n; i++ {
+			out = append(out, mathutil.Hash2(seg.Seed, uint64(i)))
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	for len(out) < n {
+		// Defensive: segments shorter than PromptLen pad with request-private
+		// content rather than aliasing another request's.
+		out = append(out, mathutil.Hash2(r.Seed, uint64(len(out))))
+	}
+	return out
 }
 
 // New constructs a queued request with the mandatory fields set and
@@ -169,6 +227,7 @@ func New(id int, cat Category, slo float64, arrival float64, promptLen, maxNew i
 func (r *Request) Clone() *Request {
 	cp := New(r.ID, r.Category, r.TPOTSLO, r.ArrivalTime, r.PromptLen, r.MaxNewTokens, r.Seed)
 	cp.TTFTSLO = r.TTFTSLO
+	cp.PromptSegs = r.PromptSegs // immutable once built; safe to share
 	return cp
 }
 
@@ -213,6 +272,7 @@ func (r *Request) ResetForRetry() {
 	r.VerifySteps = 0
 	r.AcceptedTokens = 0
 	r.Recompute = false
+	r.ReloadStall = 0 // the freed allocation's pending reload died with it
 	r.Retries++
 }
 

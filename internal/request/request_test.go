@@ -2,6 +2,7 @@ package request
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"adaserve/internal/lm"
@@ -220,5 +221,57 @@ func TestContextAndPrefillAccounting(t *testing.T) {
 	r.Commit([]lm.Token{1, 2}, 1)
 	if r.ContextLen() != 130 {
 		t.Fatal("context should include output")
+	}
+}
+
+// TestPromptSeedsSegments covers the seg-aware prompt content derivation the
+// prefix cache hashes: segment boundaries, clamping, the no-segment fallback
+// to request-private content, and the short-segment padding guard.
+func TestPromptSeedsSegments(t *testing.T) {
+	r := New(1, Chat, 0.05, 0, 8, 4, 99)
+	plain := r.PromptSeeds(8)
+	if len(plain) != 8 {
+		t.Fatalf("got %d seeds, want 8", len(plain))
+	}
+	if again := r.PromptSeeds(8); !reflect.DeepEqual(plain, again) {
+		t.Fatal("PromptSeeds not deterministic")
+	}
+	if r.PromptSeeds(0) != nil || r.PromptSeeds(-1) != nil {
+		t.Fatal("non-positive n must return nil")
+	}
+	if got := r.PromptSeeds(100); len(got) != 8 {
+		t.Fatalf("n beyond PromptLen returned %d seeds, want clamp to 8", len(got))
+	}
+
+	// Two requests sharing a segment agree exactly over it and nowhere else.
+	shared := PromptSegment{Seed: 0xabc, Len: 5}
+	a := New(2, Chat, 0.05, 0, 8, 4, 7)
+	a.PromptSegs = []PromptSegment{shared, {Seed: 1, Len: 3}}
+	b := New(3, Chat, 0.05, 0, 8, 4, 8)
+	b.PromptSegs = []PromptSegment{shared, {Seed: 2, Len: 3}}
+	sa, sb := a.PromptSeeds(8), b.PromptSeeds(8)
+	if !reflect.DeepEqual(sa[:5], sb[:5]) {
+		t.Fatal("shared segment produced different content")
+	}
+	if reflect.DeepEqual(sa[5:], sb[5:]) {
+		t.Fatal("private tails collided")
+	}
+
+	// A truncated read stops mid-segment.
+	if got := a.PromptSeeds(6); !reflect.DeepEqual(got, sa[:6]) {
+		t.Fatal("mid-segment truncation diverged from the full read")
+	}
+
+	// Segments shorter than PromptLen pad with request-private content.
+	c := New(4, Chat, 0.05, 0, 8, 4, 11)
+	c.PromptSegs = []PromptSegment{{Seed: 0xabc, Len: 5}}
+	sc := c.PromptSeeds(8)
+	if len(sc) != 8 {
+		t.Fatalf("padded read returned %d seeds, want 8", len(sc))
+	}
+	d := New(5, Chat, 0.05, 0, 8, 4, 12)
+	d.PromptSegs = []PromptSegment{{Seed: 0xabc, Len: 5}}
+	if reflect.DeepEqual(sc[5:], d.PromptSeeds(8)[5:]) {
+		t.Fatal("padding aliased across requests")
 	}
 }

@@ -138,9 +138,12 @@ func newBase(cfg Config) (base, error) {
 func (b *base) Pool() *request.Pool { return b.pool }
 
 // Release implements System: it drops the KV reservation of a request
-// migrating away (no-op when none is held).
+// migrating away (no-op when none is held). The request's prefill progress is
+// published to the prefix cache first, so a prefill replica's completed
+// prompts stay matchable after the migrant's KV is handed off.
 func (b *base) Release(r *request.Request) {
 	if b.cfg.KV.Has(r.ID) {
+		b.cfg.KV.MarkComputed(r.ID, r.PrefillDone)
 		if err := b.cfg.KV.Free(r.ID); err != nil {
 			panic(err)
 		}
@@ -196,7 +199,7 @@ func (b *base) admitOrdered(now float64, less func(a, c *request.Request) bool) 
 			continue
 		}
 		if !b.cfg.KV.Has(r.ID) {
-			if err := b.cfg.KV.Allocate(r.ID, b.reserveTokens(r)); err != nil {
+			if err := b.allocateKV(r); err != nil {
 				// Capacity exhausted: later arrivals cannot help (FIFO), and
 				// for ordered admission smaller requests may still fit.
 				if less == nil {
@@ -209,8 +212,68 @@ func (b *base) admitOrdered(now float64, less func(a, c *request.Request) bool) 
 	}
 }
 
-// finish retires done requests and releases their KV.
+// allocateKV reserves KV for a not-yet-admitted request. With prefix caching
+// enabled the prompt's token seeds are matched against the cache first: the
+// matched prefix is taken by reference instead of allocated, the request's
+// PrefillDone jumps past it (the engine then charges only the uncached
+// suffix, while still attending over the full cached context), and any
+// host-tier reload latency is queued on the request for its first prefill
+// pass. The match is capped one token short of the full prompt so every
+// request keeps at least one prefill token — admission modes and engine
+// phase transitions stay exactly as without caching.
+func (b *base) allocateKV(r *request.Request) error {
+	if !b.cfg.KV.PrefixEnabled() {
+		return b.cfg.KV.Allocate(r.ID, b.reserveTokens(r))
+	}
+	limit := 0
+	if r.PrefillDone == 0 && r.PromptLen > 1 {
+		limit = r.PromptLen - 1
+	}
+	hit, err := b.cfg.KV.AllocateWithPrefix(r.ID, b.reserveTokens(r), r.PromptSeeds(r.PromptLen), limit)
+	if err != nil {
+		return err
+	}
+	if hit.Tokens > 0 {
+		r.PrefillDone = hit.Tokens
+		r.ReloadStall += hit.Stall
+	}
+	return nil
+}
+
+// KVPrefixStats returns the KV allocator's prefix-cache counters; ok is
+// false when prefix caching is disabled.
+func (b *base) KVPrefixStats() (kvcache.PrefixStats, bool) {
+	if !b.cfg.KV.PrefixEnabled() {
+		return kvcache.PrefixStats{}, false
+	}
+	return b.cfg.KV.PrefixStats(), true
+}
+
+// PrefixCachedTokens probes how many of r's prompt tokens this system's KV
+// cache already holds computed — the signal the cluster's prefix-affinity
+// router steers on. Read-only; 0 when prefix caching is off. The probe uses
+// the same PromptLen-1 cap as allocation, so it predicts the admission-time
+// hit exactly.
+func (b *base) PrefixCachedTokens(r *request.Request) int {
+	if !b.cfg.KV.PrefixEnabled() || r.PromptLen <= 1 {
+		return 0
+	}
+	return b.cfg.KV.MatchPrefixTokens(r.PromptSeeds(r.PromptLen - 1))
+}
+
+// finish retires done requests and releases their KV. Prefill progress is
+// published to the prefix cache first (a no-op when caching is off): every
+// sequence passes through here at least one iteration after its prefill
+// completes, so shared prompt blocks become matchable before — and cold
+// rather than dropped when — their last holder retires.
 func (b *base) finish() {
+	if b.cfg.KV.PrefixEnabled() {
+		for _, r := range b.pool.Running() {
+			if r.PrefillDone > 0 && b.cfg.KV.Has(r.ID) {
+				b.cfg.KV.MarkComputed(r.ID, r.PrefillDone)
+			}
+		}
+	}
 	for _, r := range b.pool.Running() {
 		if r.Phase == request.Done && b.cfg.KV.Has(r.ID) {
 			if err := b.cfg.KV.Free(r.ID); err != nil {

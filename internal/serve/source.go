@@ -64,12 +64,35 @@ func (t *TraceSource) Remaining() int { return len(t.ordered) - t.next }
 // drivers Submit requests — before the run, or from observer callbacks while
 // it executes — and the driver consumes them in (arrival time, ID) order.
 // Request IDs must be unique across the run.
+//
+// Storage is a head-indexed slice: Pop nils the consumed slot and advances
+// head, and the live window compacts to the front once the dead prefix
+// dominates, so a long session run retains O(live) request pointers instead
+// of every request ever popped (reslicing from the head would keep the whole
+// backing array — and everything it points to — reachable).
 type SubmitSource struct {
 	pending []*request.Request
+	head    int
 }
 
 // NewSubmitSource returns an empty programmatic source.
 func NewSubmitSource() *SubmitSource { return &SubmitSource{} }
+
+// compact moves the live window to the front of the backing array when the
+// consumed prefix is at least as long as the live tail, keeping Pop
+// amortized O(1) while bounding retention at ~2× the live request count.
+func (s *SubmitSource) compact() {
+	if s.head == 0 || s.head < len(s.pending)-s.head {
+		return
+	}
+	n := copy(s.pending, s.pending[s.head:])
+	tail := s.pending[n:]
+	for i := range tail {
+		tail[i] = nil
+	}
+	s.pending = s.pending[:n]
+	s.head = 0
+}
 
 // Submit validates r and inserts it into the pending stream. Requests
 // submitted mid-run should arrive no earlier than the simulation's current
@@ -79,8 +102,10 @@ func (s *SubmitSource) Submit(r *request.Request) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	at := sort.Search(len(s.pending), func(i int) bool {
-		p := s.pending[i]
+	s.compact()
+	live := s.pending[s.head:]
+	at := s.head + sort.Search(len(live), func(i int) bool {
+		p := live[i]
 		return p.ArrivalTime > r.ArrivalTime ||
 			(p.ArrivalTime == r.ArrivalTime && p.ID > r.ID)
 	})
@@ -91,20 +116,22 @@ func (s *SubmitSource) Submit(r *request.Request) error {
 }
 
 // Pending returns the number of submitted, not yet consumed requests.
-func (s *SubmitSource) Pending() int { return len(s.pending) }
+func (s *SubmitSource) Pending() int { return len(s.pending) - s.head }
 
 // Peek implements Source.
 func (s *SubmitSource) Peek() (float64, bool) {
-	if len(s.pending) == 0 {
+	if s.head >= len(s.pending) {
 		return 0, false
 	}
-	return s.pending[0].ArrivalTime, true
+	return s.pending[s.head].ArrivalTime, true
 }
 
 // Pop implements Source.
 func (s *SubmitSource) Pop() *request.Request {
-	r := s.pending[0]
-	s.pending = s.pending[1:]
+	r := s.pending[s.head]
+	s.pending[s.head] = nil
+	s.head++
+	s.compact()
 	return r
 }
 

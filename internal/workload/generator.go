@@ -117,13 +117,23 @@ func (g *Generator) MakeMixedAt(t float64) *request.Request {
 	return g.MakeAt(g.sampleCategory(), t)
 }
 
-// sampleCategory draws a category from the mix.
+// sampleCategory draws a category from the mix. Float accumulation can
+// leave u >= acc even though the mix validates (weights summing to 1±0.001
+// need not reach u); the fallback must land on a category the mix actually
+// allows, so it scans back to the last positive-weight category rather than
+// blindly taking the last index — with a mix like {1, 0, 0} the last index
+// has probability zero and must never be emitted.
 func (g *Generator) sampleCategory() request.Category {
 	u := g.rng.Float64()
 	var acc float64
 	for i, p := range g.cfg.Mix {
 		acc += p
 		if u < acc {
+			return request.Category(i)
+		}
+	}
+	for i := len(g.cfg.Mix) - 1; i >= 0; i-- {
+		if g.cfg.Mix[i] > 0 {
 			return request.Category(i)
 		}
 	}

@@ -207,3 +207,36 @@ func TestStreamStats(t *testing.T) {
 		t.Fatal("empty stream stats")
 	}
 }
+
+// TestSampleCategoryDegenerateMixes regression-tests the fallback branch of
+// sampleCategory: float accumulation can leave the drawn u past the summed
+// weights (the mix validates at 1±0.001), and the fallback must then land on
+// a category the mix actually allows. Before the fix it blindly took the
+// last index, so a mix like {1, 0, 0} could emit a probability-zero
+// category. Each mix below undershoots 1 so the fallback genuinely fires
+// over 200k draws.
+func TestSampleCategoryDegenerateMixes(t *testing.T) {
+	cases := []struct {
+		name    string
+		mix     Mix
+		allowed map[request.Category]bool
+	}{
+		{"only-first", Mix{0.9995, 0, 0}, map[request.Category]bool{0: true}},
+		{"only-middle", Mix{0, 0.9995, 0}, map[request.Category]bool{1: true}},
+		{"trailing-zero", Mix{0.5, 0.4995, 0}, map[request.Category]bool{0: true, 1: true}},
+		{"leading-zero", Mix{0, 0.0005, 0.999}, map[request.Category]bool{1: true, 2: true}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.mix.Validate(); err != nil {
+				t.Fatalf("test mix does not validate: %v", err)
+			}
+			g := MustGenerator(GeneratorConfig{Seed: 5, Mix: c.mix, BaselineLatency: 0.033})
+			for i := 0; i < 200_000; i++ {
+				if cat := g.sampleCategory(); !c.allowed[cat] {
+					t.Fatalf("draw %d emitted probability-zero category %v", i, cat)
+				}
+			}
+		})
+	}
+}

@@ -464,3 +464,34 @@ func BenchmarkPrefixGrid(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTraceGrid runs a reduced trace-replay grid end to end — every
+// committed adversarial workload spec compiled per seed and replayed under
+// the static, admission-gated and autoscaled configurations — reporting
+// attainment, goodput and the gate's decisions per cell. This is the macro
+// benchmark covering the trace subsystem: spec parsing, cohort compilation
+// (correlated bursts, heavy-tail length sampling, modulation), replay
+// sourcing, and the control loops downstream.
+func BenchmarkTraceGrid(b *testing.B) {
+	setup := experiments.Llama70B()
+	opts := experiments.RunOptions{Seed: 1, Duration: 20, Parallel: 1}
+	for _, scenario := range experiments.TraceScenarios() {
+		for _, config := range experiments.TraceConfigs() {
+			b.Run(scenario+"/"+config, func(b *testing.B) {
+				var sum *metrics.ClusterSummary
+				for i := 0; i < b.N; i++ {
+					s, err := experiments.TraceCell(setup, scenario, config, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum = s
+				}
+				b.ReportMetric(100*sum.Attainment(), "attain%")
+				b.ReportMetric(sum.Goodput(), "goodput")
+				if sum.Admission != nil {
+					b.ReportMetric(float64(sum.Admission.Rejected), "rejected")
+				}
+			})
+		}
+	}
+}

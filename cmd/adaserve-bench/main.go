@@ -20,7 +20,9 @@
 // replaces the built-in scenarios with a custom schedule), prefix
 // (shared-prefix KV caching on a multi-turn session workload: hit rate and
 // TTFT attainment across caching off/on × router, including the
-// prefix-affinity policy).
+// prefix-affinity policy), trace (committed adversarial workload specs —
+// correlated bursts, heavy-tail prompts — compiled per seed and replayed
+// through static, admission-gated and autoscaled fleets).
 package main
 
 import (
@@ -42,7 +44,7 @@ import (
 func knownExps() []string {
 	return []string{"all", "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "ablations", "cluster", "disagg",
-		"autoscale", "adaptive", "faults", "prefix", "hardware"}
+		"autoscale", "adaptive", "faults", "prefix", "trace", "hardware"}
 }
 
 // parseExps validates the comma-separated -exp list against knownExps,
@@ -145,6 +147,9 @@ func main() {
 		if all || want["prefix"] {
 			runPrefix(setup, opts)
 		}
+		if all || want["trace"] {
+			runTrace(setup, opts)
+		}
 		if all || want["hardware"] {
 			runHardware(setup)
 		}
@@ -219,6 +224,17 @@ func runPrefix(setup experiments.ModelSetup, opts experiments.RunOptions) {
 		log.Fatal(err)
 	}
 	fmt.Print(experiments.RenderPrefix(pts))
+	fmt.Println()
+}
+
+func runTrace(setup experiments.ModelSetup, opts experiments.RunOptions) {
+	fmt.Printf("\n--- Trace replay: committed adversarial specs x control configuration (fleet %d static, %d elastic, %s router) ---\n",
+		experiments.TraceFleet, experiments.TraceCapacity, experiments.TraceRouter)
+	pts, err := experiments.TraceReplay(setup, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderTrace(pts))
 	fmt.Println()
 }
 

@@ -42,6 +42,16 @@
 // sized by -prefix-tier (reloads pay the modeled interconnect). -live then
 // also streams [pfx] hit/evict/reload lines.
 //
+// With -trace the run replays a recorded trace file (format v1, see
+// internal/trace) as its arrival stream; with -spec it first compiles a
+// declarative workload spec into such a trace (deterministic per -seed, with
+// -duration overriding the spec's when set). With -export any run records
+// its admitted arrival stream to a trace file afterward, closing the loop:
+// an open-loop run exported once replays identically forever. -trace, -spec,
+// -rate-profile and -prefix each pick the workload source, so at most one
+// may be set; trace replay ignores -rps and -urgent (the file carries the
+// arrivals).
+//
 // With -faults the run replays a deterministic failure schedule — replica
 // crashes, stragglers, KV-transfer link faults, or a Poisson crash hazard —
 // and -recovery picks the response: none, retry (timeout detection, budgeted
@@ -60,12 +70,17 @@
 //	adaserve-sim -replicas 2 -adaptive -admission -rate-profile spike -live
 //	adaserve-sim -replicas 4 -faults "crash@30+10:r0" -recovery retry+hedge -live
 //	adaserve-sim -replicas 3 -router prefix-affinity -prefix -live
+//	adaserve-sim -spec internal/experiments/testdata/specs/bursty.spec -replicas 2 -admission
+//	adaserve-sim -trace recorded.trace -replicas 2 -live
+//	adaserve-sim -rate-profile spike -export spike.trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"adaserve/internal/adaptive"
 	"adaserve/internal/autoscale"
@@ -78,6 +93,7 @@ import (
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
 	"adaserve/internal/serve"
+	"adaserve/internal/trace"
 	"adaserve/internal/workload"
 )
 
@@ -135,6 +151,64 @@ func resolveFaults(spec, recovery string) (faults.Spec, faults.Recovery, error) 
 	return s, rec, nil
 }
 
+// resolveSource validates the workload-source flag combination: -trace,
+// -spec, -rate-profile and -prefix each replace the default closed trace
+// replay with their own arrival stream, so at most one may be set.
+func resolveSource(tracePath, specPath, profile string, prefix bool) error {
+	var set []string
+	if tracePath != "" {
+		set = append(set, "-trace")
+	}
+	if specPath != "" {
+		set = append(set, "-spec")
+	}
+	if profile != "" {
+		set = append(set, "-rate-profile")
+	}
+	if prefix {
+		set = append(set, "-prefix")
+	}
+	if len(set) > 1 {
+		return fmt.Errorf("%s each pick the workload source; set at most one", strings.Join(set, " and "))
+	}
+	return nil
+}
+
+// loadReplayTrace builds the replay trace behind -trace/-spec (exactly one
+// path is non-empty): a trace file parses as-is, a spec file compiles against
+// the model setup's class SLOs, with -duration overriding the spec's only
+// when explicitly set and the run seed governing compilation.
+func loadReplayTrace(tracePath, specPath string, setup experiments.ModelSetup,
+	duration float64, durationSet bool, seed uint64) (*trace.Trace, error) {
+	if tracePath != "" {
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tracePath, err)
+		}
+		return tr, nil
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := trace.ParseSpec(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", specPath, err)
+	}
+	if !durationSet {
+		duration = 0 // keep the spec's
+	}
+	return trace.Compile(spec, trace.CompileOptions{
+		BaselineLatency: setup.BaselineLatency(),
+		Duration:        duration,
+		Seed:            seed,
+	})
+}
+
 // resolveAdaptive maps the -adaptive/-admission pair to a controller config:
 // nil when both are off, tuning-only or admission-only when one is set, the
 // full closed loop when both are. Timing follows the adaptive experiment's
@@ -169,6 +243,9 @@ func main() {
 	faultsFlag := flag.String("faults", "", `fault schedule, e.g. "crash@30+10:r0; slow@60+20:x4; link@40+30:p0.3; hazard@0.01+10" (cluster mode only)`)
 	recoveryFlag := flag.String("recovery", "retry", "fault recovery mode: none, retry, retry+hedge")
 	profile := flag.String("rate-profile", "", "open-loop arrival shape: constant, ramp, spike, diurnal (empty: closed trace replay)")
+	traceFlag := flag.String("trace", "", "replay a recorded trace file (format v1) as the arrival stream")
+	specFlag := flag.String("spec", "", "compile a declarative workload spec into the arrival stream (deterministic per -seed)")
+	exportFlag := flag.String("export", "", "write the run's admitted arrival stream to a trace file afterward")
 	live := flag.Bool("live", false, "stream periodic rolling-metric snapshots and SLO-violation events")
 	snapEvery := flag.Float64("snapshot-every", 5, "simulated seconds between -live snapshots")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -183,20 +260,22 @@ func main() {
 	if _, err := cluster.NewRouter(*router); err != nil {
 		log.Fatal(err)
 	}
-	replicasSet, prefixTierSet := false, false
+	replicasSet, prefixTierSet, durationSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "replicas":
 			replicasSet = true
 		case "prefix-tier":
 			prefixTierSet = true
+		case "duration":
+			durationSet = true
 		}
 	})
 	if prefixTierSet && !*prefixFlag {
 		log.Fatal("-prefix-tier needs -prefix")
 	}
-	if *prefixFlag && *profile != "" {
-		log.Fatal("-prefix replays the session workload; drop -rate-profile")
+	if err := resolveSource(*traceFlag, *specFlag, *profile, *prefixFlag); err != nil {
+		log.Fatal(err)
 	}
 	if *prefixTier < 0 {
 		log.Fatalf("-prefix-tier %d: need a non-negative block count", *prefixTier)
@@ -249,14 +328,34 @@ func main() {
 	}
 	fmt.Printf("model: %s (baseline %.1f ms/token)\n", setup.Name, 1e3*setup.BaselineLatency())
 
-	// Build the source: closed trace replay by default, open-loop with the
+	// Build the source: closed trace replay by default, trace-file replay
+	// under -trace (or -spec, which compiles one first), open-loop with the
 	// chosen rate shape when -rate-profile is set, closed-loop sessions under
 	// -prefix (follow-up turns submitted from the finish observer below).
 	var src serve.Source
 	var traceReqs []*request.Request
 	var sessions *workload.Sessions
 	var submitSrc *serve.SubmitSource
-	if *prefixFlag {
+	if *traceFlag != "" || *specFlag != "" {
+		tr, err := loadReplayTrace(*traceFlag, *specFlag, setup, *duration, durationSet, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err = trace.NewSource(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Downstream cadences (autoscale, adaptive, fault horizon) follow the
+		// replayed trace's span, not the synthetic default.
+		*duration = tr.Duration()
+		st := tr.Stats()
+		what := "replaying " + *traceFlag
+		if *specFlag != "" {
+			what = fmt.Sprintf("compiled %s (seed %d)", *specFlag, tr.Header.Seed)
+		}
+		fmt.Printf("trace: %s: %d arrivals over %.1fs (mean %.2f rps, %d classes; -rps ignored)\n",
+			what, st.Arrivals, tr.Duration(), st.MeanRPS, len(tr.Header.Classes))
+	} else if *prefixFlag {
 		sessions, err = experiments.NewSessions(setup, *seed)
 		if err != nil {
 			log.Fatal(err)
@@ -384,6 +483,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var exporter *trace.Exporter
+	if *exportFlag != "" {
+		exporter = trace.NewExporter(trace.ExportOptions{Seed: *seed, Source: "export:adaserve-sim"})
+		srv.Subscribe(exporter)
+	}
 	if *live {
 		fmt.Println()
 		pfx := prefixStatsFn(*prefixFlag, cl, sys)
@@ -409,6 +513,16 @@ func main() {
 	}
 	if submitErr != nil {
 		log.Fatal(submitErr)
+	}
+	if exporter != nil {
+		tr, err := exporter.Trace()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*exportFlag, []byte(tr.Format()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported %d admitted arrivals to %s\n", len(tr.Arrivals), *exportFlag)
 	}
 
 	if cl != nil {

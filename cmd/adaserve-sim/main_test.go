@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -51,6 +52,105 @@ func TestResolveFleet(t *testing.T) {
 				t.Fatalf("got %d replicas, %d roles; want %d, %d", n, len(roles), c.wantN, c.wantRoles)
 			}
 		})
+	}
+}
+
+// TestResolveSource is the workload-source validation table: -trace, -spec,
+// -rate-profile and -prefix each replace the default arrival stream, so any
+// pair of them fails with a one-line error naming the clashing flags.
+func TestResolveSource(t *testing.T) {
+	cases := []struct {
+		name          string
+		tracef, specf string
+		profile       string
+		prefix        bool
+		wantErr       string
+	}{
+		{name: "default closed replay"},
+		{name: "trace only", tracef: "x.trace"},
+		{name: "spec only", specf: "x.spec"},
+		{name: "profile only", profile: "spike"},
+		{name: "prefix only", prefix: true},
+		{name: "trace and spec", tracef: "x", specf: "y", wantErr: "-trace and -spec"},
+		{name: "spec and profile", specf: "y", profile: "spike", wantErr: "-spec and -rate-profile"},
+		{name: "trace and prefix", tracef: "x", prefix: true, wantErr: "-trace and -prefix"},
+		{name: "profile and prefix", profile: "spike", prefix: true, wantErr: "-rate-profile and -prefix"},
+		{name: "all four", tracef: "x", specf: "y", profile: "spike", prefix: true, wantErr: "at most one"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := resolveSource(c.tracef, c.specf, c.profile, c.prefix)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want one containing %q", err, c.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+// TestLoadReplayTrace covers both halves of the -trace/-spec loader: a spec
+// compiles deterministically per seed with -duration overriding the spec's
+// only when explicitly set, a trace file parses as-is, and malformed input
+// surfaces the parser's line-numbered error prefixed with the path.
+func TestLoadReplayTrace(t *testing.T) {
+	setup := experiments.Llama70B()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	spec := write("tiny.spec", "#adaserve-spec v1\n#meta seed 3\n#meta duration 12\ncohort a class=chat rate=2 arrival=poisson prompt=fixed:32 output=fixed:32\n")
+
+	tr, err := loadReplayTrace("", spec, setup, 120, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) == 0 || tr.Duration() > 12 {
+		t.Fatalf("spec compile ignored the spec's duration: %d arrivals over %.1fs", len(tr.Arrivals), tr.Duration())
+	}
+	again, err := loadReplayTrace("", spec, setup, 120, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Format() != again.Format() {
+		t.Fatal("same seed compiled different traces")
+	}
+	long, err := loadReplayTrace("", spec, setup, 48, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Duration() <= 12 {
+		t.Fatalf("explicit -duration 48 did not extend the trace: %.1fs", long.Duration())
+	}
+
+	// A trace file replays as-is, and byte-identically round-trips through
+	// the file form the spec path would have written.
+	tracePath := write("tiny.trace", tr.Format())
+	parsed, err := loadReplayTrace(tracePath, "", setup, 120, false, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Format() != tr.Format() {
+		t.Fatal("trace file replay differs from the compiled original")
+	}
+
+	if _, err := loadReplayTrace(write("bad.trace", "nope\n"), "", setup, 120, false, 1); err == nil || !strings.Contains(err.Error(), "bad.trace") {
+		t.Fatalf("malformed trace error = %v, want one naming the file", err)
+	}
+	if _, err := loadReplayTrace("", write("bad.spec", "#adaserve-spec v2\n"), setup, 120, false, 1); err == nil || !strings.Contains(err.Error(), "bad.spec") {
+		t.Fatalf("malformed spec error = %v, want one naming the file", err)
 	}
 }
 

@@ -106,7 +106,10 @@ func SyntheticCategoryTrace(rng *mathutil.RNG, peakRPS float64, duration float64
 }
 
 // BinCounts histograms timestamps into fixed-width bins for rendering trace
-// shapes (Figures 7 and 13).
+// shapes (Figures 7 and 13). Timestamps in [0, duration] all land in a bin
+// — an arrival exactly on the duration boundary (common in imported
+// traces, whose last arrival defines the duration) clamps into the final
+// bin rather than vanishing; only timestamps outside the window drop.
 func BinCounts(ts []float64, duration, binWidth float64) []int {
 	if binWidth <= 0 || duration <= 0 {
 		return nil
@@ -114,10 +117,14 @@ func BinCounts(ts []float64, duration, binWidth float64) []int {
 	n := int(math.Ceil(duration / binWidth))
 	bins := make([]int, n)
 	for _, t := range ts {
-		i := int(t / binWidth)
-		if i >= 0 && i < n {
-			bins[i]++
+		if t < 0 || t > duration {
+			continue
 		}
+		i := int(t / binWidth)
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
 	}
 	return bins
 }

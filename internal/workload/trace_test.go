@@ -164,6 +164,21 @@ func TestBinCounts(t *testing.T) {
 	}
 }
 
+func TestBinCountsBoundary(t *testing.T) {
+	// An arrival exactly at the duration boundary clamps into the final
+	// bin; arrivals outside [0, duration] drop.
+	bins := BinCounts([]float64{-0.1, 0, 6, 6.1}, 6, 2)
+	if bins[0] != 1 || bins[1] != 0 || bins[2] != 1 {
+		t.Fatalf("bins %v, want [1 0 1]", bins)
+	}
+	// A ragged final bin (duration not a multiple of binWidth) still
+	// catches its boundary arrival.
+	bins = BinCounts([]float64{5}, 5, 2)
+	if len(bins) != 3 || bins[2] != 1 {
+		t.Fatalf("ragged bins %v", bins)
+	}
+}
+
 func TestMergeSorted(t *testing.T) {
 	out := MergeSorted([]float64{1, 3}, []float64{2}, nil)
 	want := []float64{1, 2, 3}

@@ -21,7 +21,9 @@ import (
 	"adaserve/internal/lm"
 	"adaserve/internal/mathutil"
 	"adaserve/internal/metrics"
+	"adaserve/internal/obs"
 	"adaserve/internal/request"
+	"adaserve/internal/serve"
 	"adaserve/internal/sim"
 	"adaserve/internal/toktree"
 	"adaserve/internal/workload"
@@ -494,4 +496,56 @@ func BenchmarkTraceGrid(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkObsOverhead prices the streaming observability layer against the
+// observer-free hot path. The bare sub-benchmark runs a two-replica cluster
+// with no observers subscribed — the driver's tracking flag stays off, so no
+// event values are materialized; any allocs/op growth here is a hot-path
+// regression. The observed sub-benchmark subscribes the span recorder and
+// metrics exporter (with periodic snapshots) to the identical run, so the
+// delta between the two is the full cost of observability.
+func BenchmarkObsOverhead(b *testing.B) {
+	setup := experiments.Llama70B()
+	const obsDuration = 6.0
+	run := func(b *testing.B, observe bool) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl, err := experiments.BuildCluster(experiments.SysAdaServe, setup, 2, "slo-aware",
+				experiments.BuildOptions{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sopts := serve.Options{}
+			if observe {
+				sopts.SnapshotEvery = 1
+			}
+			srv, err := serve.NewServer(cl, sopts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if observe {
+				srv.Subscribe(obs.NewSpanRecorder())
+				srv.Subscribe(obs.NewMetricsExporter())
+			}
+			gen, err := experiments.NewGenerator(setup, workload.DefaultMix, 1.0, mathutil.Hash2(1, 0xada))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate, maxRate, err := workload.RateProfile("spike", experiments.AdaptiveMeanRPS(setup), obsDuration)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := serve.NewOpenLoop(gen, mathutil.NewRNG(mathutil.Hash2(1, 0x7a)), rate, maxRate, obsDuration)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Run(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("observed", func(b *testing.B) { run(b, true) })
 }

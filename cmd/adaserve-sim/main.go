@@ -76,6 +76,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -90,6 +91,7 @@ import (
 	"adaserve/internal/kvcache"
 	"adaserve/internal/mathutil"
 	"adaserve/internal/metrics"
+	"adaserve/internal/obs"
 	"adaserve/internal/request"
 	"adaserve/internal/sched"
 	"adaserve/internal/serve"
@@ -248,6 +250,9 @@ func main() {
 	exportFlag := flag.String("export", "", "write the run's admitted arrival stream to a trace file afterward")
 	live := flag.Bool("live", false, "stream periodic rolling-metric snapshots and SLO-violation events")
 	snapEvery := flag.Float64("snapshot-every", 5, "simulated seconds between -live snapshots")
+	spanOut := flag.String("span-out", "", "write per-request span timelines (Chrome/Perfetto trace-event JSON) to this file")
+	metricsOut := flag.String("metrics-out", "", "write run metrics to this file: .json = JSON series, anything else = Prometheus text exposition")
+	percentiles := flag.Bool("percentiles", false, "print the per-class latency percentile table after the run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -433,7 +438,8 @@ func main() {
 	}
 
 	opts := serve.Options{}
-	if *live {
+	if *live || *metricsOut != "" {
+		// The metrics exporter's series is the same snapshot grid -live tails.
 		opts.SnapshotEvery = *snapEvery
 	}
 	var inj *faults.Injector
@@ -487,6 +493,16 @@ func main() {
 	if *exportFlag != "" {
 		exporter = trace.NewExporter(trace.ExportOptions{Seed: *seed, Source: "export:adaserve-sim"})
 		srv.Subscribe(exporter)
+	}
+	var spans *obs.SpanRecorder
+	if *spanOut != "" {
+		spans = obs.NewSpanRecorder()
+		srv.Subscribe(spans)
+	}
+	var mexp *obs.MetricsExporter
+	if *metricsOut != "" {
+		mexp = obs.NewMetricsExporter()
+		srv.Subscribe(mexp)
 	}
 	if *live {
 		fmt.Println()
@@ -542,18 +558,58 @@ func main() {
 			res.Summary.Faults = &fsum
 		}
 		printCluster(res, *replicas)
+		finishObs(spans, *spanOut, mexp, *metricsOut, *percentiles, res.Summary.Aggregate)
 		return
 	}
 	reqs := traceReqs
 	if reqs == nil {
 		reqs = sys.Pool().Done()
 	}
-	printSingle(metrics.Summarize(sys.Name(), reqs, rr.Breakdown), rr)
+	sum := metrics.Summarize(sys.Name(), reqs, rr.Breakdown)
+	printSingle(sum, rr)
 	if actrl != nil {
 		fmt.Println(actrl.Summary().String())
 	}
 	if pfx := prefixStatsFn(*prefixFlag, nil, sys); pfx != nil {
 		fmt.Println(pfx().String())
+	}
+	finishObs(spans, *spanOut, mexp, *metricsOut, *percentiles, sum)
+}
+
+// finishObs renders the observability outputs after the run: the Perfetto
+// span-timeline file (-span-out), the metrics export in the format the
+// -metrics-out extension selects, and the -percentiles latency table.
+func finishObs(spans *obs.SpanRecorder, spanPath string, mexp *obs.MetricsExporter, metricsPath string, percentiles bool, sum *metrics.Summary) {
+	if spans != nil {
+		var buf bytes.Buffer
+		if err := spans.WriteTrace(&buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(spanPath, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d span timelines to %s (load in ui.perfetto.dev or chrome://tracing)\n",
+			len(spans.Timelines()), spanPath)
+	}
+	if mexp != nil {
+		var buf bytes.Buffer
+		var err error
+		if strings.HasSuffix(metricsPath, ".json") {
+			err = mexp.WriteJSON(&buf, sum)
+		} else {
+			err = mexp.WritePrometheus(&buf, sum)
+		}
+		if err == nil {
+			err = os.WriteFile(metricsPath, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d metric snapshots + terminal summary to %s\n", len(mexp.Snapshots()), metricsPath)
+	}
+	if percentiles {
+		fmt.Println()
+		fmt.Print(obs.PercentileTable(sum))
 	}
 }
 
@@ -613,6 +669,9 @@ func liveEvent(ev serve.Event, cl *cluster.Cluster, pfx func() *metrics.PrefixSu
 		fmt.Printf("[%s t=%7.1fs] run %3d wait %3d | finished %5d/%5d | attain %5.1f%% (win %5.1f%%) | goodput %7.1f tok/s (win %7.1f)",
 			tag, e.Time, s.Running, s.Queued, s.Finished, s.Admitted,
 			100*s.Attainment(), 100*s.WindowAttainment(), s.Goodput, s.WindowGoodput)
+		if s.WindowTPOTTail.Count > 0 {
+			fmt.Printf(" | p99 TPOT %5.1fms (win %5.1fms)", 1e3*s.TPOTTail.P99, 1e3*s.WindowTPOTTail.P99)
+		}
 		if cl != nil && cl.Elastic() {
 			fmt.Printf(" | %s", fleetString(cl))
 		}
@@ -653,6 +712,9 @@ func liveEvent(ev serve.Event, cl *cluster.Cluster, pfx func() *metrics.PrefixSu
 	case serve.RequestHedged:
 		fmt.Printf("[falt t=%7.1fs] request %d hedged onto replica %d\n",
 			e.Time, e.Req.ID, e.Instance)
+	case serve.RequestMigrated:
+		fmt.Printf("[mig  t=%7.1fs] request %d KV %d -> %d (%.1f MB in %.1f ms)\n",
+			e.Time, e.Req.ID, e.From, e.To, e.Bytes/1e6, 1e3*(e.Time-e.Depart))
 	}
 }
 

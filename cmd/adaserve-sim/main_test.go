@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -9,9 +10,12 @@ import (
 
 	"adaserve/internal/cluster"
 	"adaserve/internal/experiments"
+	"adaserve/internal/mathutil"
 	"adaserve/internal/metrics"
+	"adaserve/internal/obs"
 	"adaserve/internal/request"
 	"adaserve/internal/serve"
+	"adaserve/internal/workload"
 )
 
 // TestResolveFleet is the -replicas/-roles validation table: -roles implies
@@ -336,6 +340,8 @@ func TestLiveEventRendersEveryKind(t *testing.T) {
 			want: []string{"[falt", "request 7 retried", "attempt 3", "replica 2"}},
 		{name: "hedged", ev: serve.RequestHedged{Req: req, Instance: 2},
 			want: []string{"[falt", "request 7 hedged", "replica 2"}},
+		{name: "migrated", ev: serve.RequestMigrated{Req: req, From: 0, To: 1, Depart: 0, Bytes: 2e6},
+			want: []string{"[mig", "request 7 KV 0 -> 1", "2.0 MB"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -442,5 +448,131 @@ func TestLiveEventPrefixLine(t *testing.T) {
 	})
 	if !strings.Contains(out, "[pfx") || !strings.Contains(out, "75.0% hit") {
 		t.Fatalf("snapshot missing the prefix cache line:\n%s", out)
+	}
+}
+
+// TestFinishObs drives the post-run observability rendering end to end: the
+// Perfetto span file, the metrics export in both extension-selected formats,
+// and the percentile table — all from one synthetic finished request.
+func TestFinishObs(t *testing.T) {
+	dir := t.TempDir()
+	req := request.New(1, request.Chat, 0.05, 0, 8, 16, 1)
+	req.AdmitTime = 0.1
+	req.FirstDecodeTime = 0.2
+	req.FirstTokenTime = 0.3
+	req.DoneTime = 1.0
+	req.Phase = request.Done
+	req.Output = append(req.Output, 1, 2, 3, 4)
+
+	spans := obs.NewSpanRecorder()
+	spans.OnEvent(serve.RequestFinished{
+		EventMeta: serve.EventMeta{Time: 1.0, Seq: 1},
+		Req:       req, Attained: true, TTFTAttained: true,
+	})
+	mexp := obs.NewMetricsExporter()
+	mexp.OnEvent(serve.Snapshot{
+		EventMeta: serve.EventMeta{Time: 5, Seq: 2},
+		Stats:     metrics.RollingStats{Running: 1},
+	})
+	sum := metrics.Summarize("adaserve", []*request.Request{req}, metrics.Breakdown{})
+
+	spanPath := filepath.Join(dir, "spans.json")
+	promPath := filepath.Join(dir, "run.prom")
+	out := captureStdout(t, func() { finishObs(spans, spanPath, mexp, promPath, true, sum) })
+	for _, w := range []string{"wrote 1 span timelines", "wrote 1 metric snapshots", "p99"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("finishObs output %q missing %q", out, w)
+		}
+	}
+	span, err := os.ReadFile(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{`"traceEvents"`, `"queued"`, `"decode"`} {
+		if !strings.Contains(string(span), w) {
+			t.Fatalf("span file missing %q", w)
+		}
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "# TYPE") {
+		t.Fatalf("prometheus file missing # TYPE header:\n%s", prom)
+	}
+
+	// A .json extension flips the metrics export to the JSON document.
+	jsonPath := filepath.Join(dir, "metrics.json")
+	out = captureStdout(t, func() { finishObs(nil, "", mexp, jsonPath, false, sum) })
+	if strings.Contains(out, "span timelines") {
+		t.Fatalf("nil recorder still reported spans: %q", out)
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("metrics .json output is not valid JSON: %v", err)
+	}
+	if _, ok := doc["series"]; !ok {
+		t.Fatalf("metrics JSON missing series key: %v", doc)
+	}
+}
+
+// TestPrintSummaries runs a short two-replica fleet and renders both report
+// paths, pinning the headline lines a user scans for after a run.
+func TestPrintSummaries(t *testing.T) {
+	setup := experiments.Llama70B()
+	roles, err := cluster.ParseSplit("1P1D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := experiments.BuildDisagg(experiments.SysAdaServe, setup, roles, "slo-aware",
+		experiments.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(cl, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := experiments.NewGenerator(setup, workload.DefaultMix, 1.0, mathutil.Hash2(1, 0xada))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dur = 3.0
+	rate, maxRate, err := workload.RateProfile("constant", experiments.AdaptiveMeanRPS(setup), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := serve.NewOpenLoop(gen, mathutil.NewRNG(mathutil.Hash2(1, 0x7a)), rate, maxRate, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := srv.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Results(rr, nil)
+	// Populate the optional sections so the report renders every branch a
+	// fully-featured run would.
+	res.Summary.Autoscale = &metrics.AutoscaleSummary{Policy: "none"}
+	res.Summary.Admission = &metrics.AdmissionSummary{}
+	res.Summary.Prefix = &metrics.PrefixSummary{}
+	res.Summary.Faults = &metrics.FaultSummary{}
+
+	out := captureStdout(t, func() { printCluster(res, 2) })
+	for _, w := range []string{"cluster: attainment", "goodput", "p50 TPOT", "p99 TPOT", "KV transfers:", "autoscale", "faults", "simulated:", "across 2 replicas"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("printCluster output missing %q:\n%s", w, out)
+		}
+	}
+
+	out = captureStdout(t, func() { printSingle(res.Summary.Aggregate, rr) })
+	for _, w := range []string{"throughput", "p50 TPOT", "breakdown: scheduling", "simulated:"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("printSingle output missing %q:\n%s", w, out)
+		}
 	}
 }

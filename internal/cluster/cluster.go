@@ -487,7 +487,10 @@ func (c *Cluster) AfterIterate(in *serve.Instance, q *serve.Queue) error {
 		}
 		req, target, ready := r, cands[idx], rep.Clock()+lat
 		target.pendingDeliveries++
-		q.Schedule(ready, req.ID, func() { c.deliver(req, target, ready) })
+		q.ScheduleMigration(ready, req.ID, serve.Migration{
+			Req: req, From: rep.inst.ID(), To: target.inst.ID(),
+			Depart: rep.Clock(), Bytes: c.transfer.Bytes(req.PromptLen),
+		}, func() { c.deliver(req, target, ready) })
 	}
 	return nil
 }

@@ -383,17 +383,25 @@ func (c *Cluster) drain(rep *Replica, now float64, q *serve.Queue) {
 		}
 		c.drainMigrations++
 		req, ready := r, now+lat
+		bytes := 0.0
+		if computed := r.PrefillDone + r.OutputLen(); computed > 0 {
+			bytes = c.transfer.Bytes(computed)
+		}
 		if r.RemainingPrefill() > 0 {
 			// Still a prefill-stage arrival: it re-routes like a dispatch
 			// and lands in the target's routed list.
 			tgt := c.routablePrefill[c.router.Route(r, c.routablePrefill)]
 			tgt.pendingDeliveries++
-			q.Schedule(ready, req.ID, func() { c.deliverRouted(req, tgt, ready) })
+			q.ScheduleMigration(ready, req.ID, serve.Migration{
+				Req: req, From: rep.inst.ID(), To: tgt.inst.ID(), Depart: now, Bytes: bytes,
+			}, func() { c.deliverRouted(req, tgt, ready) })
 		} else {
 			// Prefill-complete: a decode-stage migration.
 			tgt := c.routableDecode[c.router.RouteDecode(r, c.routableDecode)]
 			tgt.pendingDeliveries++
-			q.Schedule(ready, req.ID, func() { c.deliver(req, tgt, ready) })
+			q.ScheduleMigration(ready, req.ID, serve.Migration{
+				Req: req, From: rep.inst.ID(), To: tgt.inst.ID(), Depart: now, Bytes: bytes,
+			}, func() { c.deliver(req, tgt, ready) })
 		}
 	}
 	c.sweepDrained()

@@ -186,6 +186,9 @@ func RenderAdaptive(pts []AdaptivePoint) string {
 		{"goodput", func(s *metrics.ClusterSummary) float64 { return s.Goodput() }},
 		{"attain%", func(s *metrics.ClusterSummary) float64 { return 100 * s.Attainment() }},
 		{"maxTTFT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.MaxTTFT }},
+		{"p50TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P50TPOT() }},
+		{"p99TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P99TPOT() }},
+		{"p999TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P999TPOT() }},
 		{"maxTPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.MaxTPOT() }},
 		{"degraded", func(s *metrics.ClusterSummary) float64 {
 			if s.Admission == nil {

@@ -269,6 +269,7 @@ func RenderFaults(pts []FaultPoint) string {
 		{"goodput", func(s *metrics.ClusterSummary) float64 { return s.Goodput() }},
 		{"attain%", func(s *metrics.ClusterSummary) float64 { return 100 * s.Attainment() }},
 		{"maxTTFT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.MaxTTFT }},
+		{"p99TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P99TPOT() }},
 		{"lost", func(s *metrics.ClusterSummary) float64 { return float64(s.Faults.LostRequests) }},
 		{"retried", func(s *metrics.ClusterSummary) float64 { return float64(s.Faults.Retried) }},
 		{"dropped", func(s *metrics.ClusterSummary) float64 { return float64(s.Faults.Dropped) }},

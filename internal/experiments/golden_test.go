@@ -33,7 +33,9 @@ type goldenRow struct {
 	Goodput        float64 `json:"goodput"`
 	Throughput     float64 `json:"throughput"`
 	MeanAccepted   float64 `json:"meanAccepted"`
+	P50TPOT        float64 `json:"p50TPOT"`
 	P99TPOT        float64 `json:"p99TPOT"`
+	P999TPOT       float64 `json:"p999TPOT"`
 
 	TransferCount  int     `json:"transferCount,omitempty"`
 	TransferSec    float64 `json:"transferSec,omitempty"`
@@ -99,7 +101,8 @@ func goldenGrid(t *testing.T) []goldenRow {
 			Requests: s.Requests, Finished: s.Finished,
 			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
 			Goodput: s.Goodput, Throughput: s.Throughput,
-			MeanAccepted: s.MeanAcceptedPerStep, P99TPOT: s.P99TPOT(),
+			MeanAccepted: s.MeanAcceptedPerStep,
+			P50TPOT:      s.P50TPOT(), P99TPOT: s.P99TPOT(), P999TPOT: s.P999TPOT(),
 		})
 	}
 
@@ -114,7 +117,8 @@ func goldenGrid(t *testing.T) []goldenRow {
 			Requests: s.Aggregate.Requests, Finished: s.Aggregate.Finished,
 			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
 			Goodput: s.Goodput(), Throughput: s.Aggregate.Throughput,
-			MeanAccepted: s.Aggregate.MeanAcceptedPerStep, P99TPOT: s.Aggregate.P99TPOT(),
+			MeanAccepted: s.Aggregate.MeanAcceptedPerStep,
+			P50TPOT:      s.Aggregate.P50TPOT(), P99TPOT: s.Aggregate.P99TPOT(), P999TPOT: s.Aggregate.P999TPOT(),
 			TransferCount: s.Transfer.Count, TransferSec: s.Transfer.Time,
 			TransferBytes: s.Transfer.Bytes,
 		}
@@ -201,7 +205,8 @@ func TestGoldenAdaptiveGrid(t *testing.T) {
 			Requests: s.Aggregate.Requests, Finished: s.Aggregate.Finished,
 			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
 			Goodput: s.Goodput(), Throughput: s.Aggregate.Throughput,
-			MeanAccepted: s.Aggregate.MeanAcceptedPerStep, P99TPOT: s.Aggregate.P99TPOT(),
+			MeanAccepted: s.Aggregate.MeanAcceptedPerStep,
+			P50TPOT:      s.Aggregate.P50TPOT(), P99TPOT: s.Aggregate.P99TPOT(), P999TPOT: s.Aggregate.P999TPOT(),
 			MaxTTFT: s.Aggregate.MaxTTFT,
 		}
 		if s.Admission != nil {

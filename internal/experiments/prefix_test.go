@@ -25,7 +25,8 @@ func prefixGoldenRows(t *testing.T, parallel int) []goldenRow {
 			Requests: s.Aggregate.Requests, Finished: s.Aggregate.Finished,
 			Attainment: s.Attainment(), TTFTAttainment: s.TTFTAttainment(),
 			Goodput: s.Goodput(), Throughput: s.Aggregate.Throughput,
-			MeanAccepted: s.Aggregate.MeanAcceptedPerStep, P99TPOT: s.Aggregate.P99TPOT(),
+			MeanAccepted: s.Aggregate.MeanAcceptedPerStep,
+			P50TPOT:      s.Aggregate.P50TPOT(), P99TPOT: s.Aggregate.P99TPOT(), P999TPOT: s.Aggregate.P999TPOT(),
 			MaxTTFT: s.Aggregate.MaxTTFT,
 		}
 		if s.Prefix != nil {

@@ -226,7 +226,9 @@ func RenderTrace(pts []TracePoint) string {
 		{"attain%", func(s *metrics.ClusterSummary) float64 { return 100 * s.Attainment() }},
 		{"ttftAtt%", func(s *metrics.ClusterSummary) float64 { return 100 * s.TTFTAttainment() }},
 		{"maxTTFT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.MaxTTFT }},
+		{"p50TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P50TPOT() }},
 		{"p99TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P99TPOT() }},
+		{"p999TPOT", func(s *metrics.ClusterSummary) float64 { return s.Aggregate.P999TPOT() }},
 		{"degraded", func(s *metrics.ClusterSummary) float64 {
 			if s.Admission == nil {
 				return 0

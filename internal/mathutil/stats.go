@@ -69,9 +69,18 @@ func Stddev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
-// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
-// interpolation between closest ranks. It returns 0 for an empty slice.
-// The input is not modified.
+// Percentile returns the p-th percentile (p in [0,100]) of xs using the
+// linear-interpolation-between-closest-ranks rule: the sorted slice is
+// treated as n−1 equal intervals, the target rank is p/100·(n−1), and the
+// result interpolates linearly between the two nearest order statistics
+// (numpy's default "linear" method). Out-of-range p clamps: p ≤ 0 returns
+// the minimum, p ≥ 100 the maximum.
+//
+// Degenerate inputs are defined: an empty slice returns 0 for every p, and
+// a single-element slice returns that element for every p. The input is not
+// modified. obs/hist.Histogram.Percentile follows the same rank rule, so
+// histogram-backed percentiles agree with this function at the extremes and
+// to bucket resolution in between.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -80,6 +80,29 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileDegenerateInputs(t *testing.T) {
+	// Empty input: 0 for every p, including the clamped extremes.
+	for _, p := range []float64{-1, 0, 50, 100, 101} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Errorf("Percentile(nil, %g) = %g, want 0", p, got)
+		}
+		if got := Percentile([]float64{}, p); got != 0 {
+			t.Errorf("Percentile([], %g) = %g, want 0", p, got)
+		}
+	}
+	// Single element: that element for every p — rank p/100·(n−1) is always 0.
+	for _, p := range []float64{-1, 0, 37.5, 50, 99.9, 100, 101} {
+		if got := Percentile([]float64{0.042}, p); got != 0.042 {
+			t.Errorf("Percentile([0.042], %g) = %g, want 0.042", p, got)
+		}
+	}
+	// Out-of-range p clamps to min/max.
+	xs := []float64{5, 1, 3}
+	if Percentile(xs, -10) != 1 || Percentile(xs, 110) != 5 {
+		t.Errorf("clamped extremes = %g/%g, want 1/5", Percentile(xs, -10), Percentile(xs, 110))
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)

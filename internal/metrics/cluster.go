@@ -3,8 +3,6 @@ package metrics
 import (
 	"fmt"
 	"strings"
-
-	"adaserve/internal/mathutil"
 )
 
 // Add accumulates another breakdown into b (used when merging per-replica
@@ -243,7 +241,7 @@ func (c *ClusterSummary) String() string {
 			continue
 		}
 		fmt.Fprintf(&b, "\n  %-14s %4d reqs, attain %.1f%%, goodput %.1f tok/s, mean TPOT %.1f ms",
-			r.System, r.Requests, 100*r.Attainment(), r.Goodput, 1e3*mathutil.Mean(r.TPOTs))
+			r.System, r.Requests, 100*r.Attainment(), r.Goodput, 1e3*r.MeanTPOT)
 	}
 	return b.String()
 }

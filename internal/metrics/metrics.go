@@ -9,7 +9,7 @@ import (
 	"sort"
 	"strings"
 
-	"adaserve/internal/mathutil"
+	"adaserve/internal/obs/hist"
 	"adaserve/internal/request"
 )
 
@@ -47,8 +47,13 @@ type CategoryStats struct {
 	Violations int
 	// MeanTPOT is the average per-token latency across requests, seconds.
 	MeanTPOT float64
-	// P99TPOT is the 99th-percentile per-request average TPOT.
+	// P50TPOT/P99TPOT are the median and 99th-percentile per-request average
+	// TPOT, computed once at Summarize time from the class histogram.
+	P50TPOT float64
 	P99TPOT float64
+	// TPOT is the class's streaming TPOT histogram over finished requests —
+	// fixed-size, so per-class metric memory is independent of request count.
+	TPOT *hist.Histogram
 	// Goodput is output tokens/second from SLO-attaining requests.
 	Goodput float64
 }
@@ -85,8 +90,18 @@ type Summary struct {
 	// over finished requests (the tail bound overload admission protects).
 	MeanTTFT float64
 	MaxTTFT  float64
-	// TPOTs holds each finished request's average per-token latency.
-	TPOTs []float64
+	// MeanTPOT is the average per-request TPOT over finished requests.
+	MeanTPOT float64
+	// TPOT and TTFT are bounded-memory streaming histograms over finished
+	// requests (per-request average TPOT; TTFT where measured). They replace
+	// the retained per-request latency slices: a Summary's memory is a small
+	// constant regardless of how many requests the run served.
+	TPOT *hist.Histogram
+	TTFT *hist.Histogram
+	// TPOTTail and TTFTTail are the histograms' percentile digests, computed
+	// once at Summarize time; the percentile accessors read them.
+	TPOTTail hist.Digest
+	TTFTTail hist.Digest
 
 	PerCategory map[request.Category]*CategoryStats
 	Breakdown   Breakdown
@@ -121,21 +136,19 @@ func (s *Summary) ViolationRate() float64 {
 func (s *Summary) Violations() int { return s.Requests - s.Attained }
 
 // P50TPOT returns the median per-request average TPOT.
-func (s *Summary) P50TPOT() float64 { return mathutil.Percentile(s.TPOTs, 50) }
+func (s *Summary) P50TPOT() float64 { return s.TPOTTail.P50 }
+
+// P90TPOT returns the 90th-percentile per-request average TPOT.
+func (s *Summary) P90TPOT() float64 { return s.TPOTTail.P90 }
 
 // P99TPOT returns the 99th-percentile per-request average TPOT.
-func (s *Summary) P99TPOT() float64 { return mathutil.Percentile(s.TPOTs, 99) }
+func (s *Summary) P99TPOT() float64 { return s.TPOTTail.P99 }
 
-// MaxTPOT returns the worst per-request average TPOT of the run.
-func (s *Summary) MaxTPOT() float64 {
-	max := 0.0
-	for _, t := range s.TPOTs {
-		if t > max {
-			max = t
-		}
-	}
-	return max
-}
+// P999TPOT returns the 99.9th-percentile per-request average TPOT.
+func (s *Summary) P999TPOT() float64 { return s.TPOTTail.P999 }
+
+// MaxTPOT returns the worst per-request average TPOT of the run (exact).
+func (s *Summary) MaxTPOT() float64 { return s.TPOTTail.Max }
 
 // Summarize computes a Summary over all requests of a run. done should
 // contain every generated request (finished or not); breakdown comes from
@@ -147,13 +160,13 @@ func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Sum
 		PerCategory: make(map[request.Category]*CategoryStats),
 		Breakdown:   breakdown,
 	}
+	s.TPOT = hist.New()
+	s.TTFT = hist.New()
 	if len(reqs) == 0 {
 		return s
 	}
 	firstArrival := reqs[0].ArrivalTime
 	lastDone := 0.0
-	var ttfts []float64
-	catTPOT := make(map[request.Category][]float64)
 	var totalSteps, totalAccepted int
 	for _, r := range reqs {
 		if r.ArrivalTime < firstArrival {
@@ -161,7 +174,7 @@ func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Sum
 		}
 		cs := s.PerCategory[r.Category]
 		if cs == nil {
-			cs = &CategoryStats{Category: r.Category}
+			cs = &CategoryStats{Category: r.Category, TPOT: hist.New()}
 			s.PerCategory[r.Category] = cs
 		}
 		cs.Requests++
@@ -177,10 +190,10 @@ func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Sum
 			lastDone = r.DoneTime
 		}
 		tpot := r.AvgTPOT(r.DoneTime)
-		s.TPOTs = append(s.TPOTs, tpot)
-		catTPOT[r.Category] = append(catTPOT[r.Category], tpot)
+		s.TPOT.Observe(tpot)
+		cs.TPOT.Observe(tpot)
 		if t := r.TTFT(); t >= 0 {
-			ttfts = append(ttfts, t)
+			s.TTFT.Observe(t)
 			if t > s.MaxTTFT {
 				s.MaxTTFT = t
 			}
@@ -221,10 +234,18 @@ func Summarize(system string, reqs []*request.Request, breakdown Breakdown) *Sum
 	if totalSteps > 0 {
 		s.MeanAcceptedPerStep = float64(totalAccepted) / float64(totalSteps)
 	}
-	s.MeanTTFT = mathutil.Mean(ttfts)
-	for cat, ts := range catTPOT {
-		s.PerCategory[cat].MeanTPOT = mathutil.Mean(ts)
-		s.PerCategory[cat].P99TPOT = mathutil.Percentile(ts, 99)
+	// Means divide running sums accumulated in the same order the retained
+	// slices used to be appended, so these values are bit-identical to the
+	// slice-backed implementation; percentiles come from the histograms.
+	s.MeanTTFT = s.TTFT.Mean()
+	s.MeanTPOT = s.TPOT.Mean()
+	s.TPOTTail = s.TPOT.Digest()
+	s.TTFTTail = s.TTFT.Digest()
+	for _, cs := range s.PerCategory {
+		cs.MeanTPOT = cs.TPOT.Mean()
+		d := cs.TPOT.Digest()
+		cs.P50TPOT = d.P50
+		cs.P99TPOT = d.P99
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"adaserve/internal/obs/hist"
 	"adaserve/internal/request"
 )
 
@@ -66,6 +67,14 @@ type RollingStats struct {
 	WindowFinished, WindowAttained int
 	WindowTTFTAttained             int
 	WindowGoodput                  float64
+	// TPOTTail and TTFTTail digest the cumulative per-request TPOT / TTFT
+	// distributions over every finish so far; at the final snapshot they
+	// equal the terminal Summary's TPOTTail/TTFTTail (digests depend only on
+	// bucket counts and exact extremes, both order-independent).
+	// WindowTPOTTail covers only the finishes still inside the trailing
+	// window; its Min/Max report the cumulative envelope, not the window's
+	// (sliding-window eviction does not re-scan for new extremes).
+	TPOTTail, TTFTTail, WindowTPOTTail hist.Digest
 	// PerClass indexes the per-category split by request.Category.
 	PerClass [request.NumCategories]RollingClass
 }
@@ -113,6 +122,7 @@ type finishRec struct {
 	attained bool
 	ttft     bool
 	tokens   int
+	tpot     float64
 }
 
 // Rolling computes RollingStats incrementally from request arrival and
@@ -152,6 +162,14 @@ type Rolling struct {
 	winAttained   int
 	winTTFT       int
 	winGoodTokens int
+
+	// tpotHist/ttftHist stream the cumulative per-request TPOT/TTFT
+	// distributions; winTPOT covers only the trailing window (evictions
+	// retract their TPOT). All three are fixed-size, so rolling-metrics
+	// memory stays bounded no matter how many requests finish.
+	tpotHist *hist.Histogram
+	ttftHist *hist.Histogram
+	winTPOT  *hist.Histogram
 }
 
 // NewRolling returns a Rolling with the given trailing-window width in
@@ -160,7 +178,12 @@ func NewRolling(window float64) *Rolling {
 	if window <= 0 {
 		panic("metrics: rolling window must be positive")
 	}
-	return &Rolling{window: window}
+	return &Rolling{
+		window:   window,
+		tpotHist: hist.New(),
+		ttftHist: hist.New(),
+		winTPOT:  hist.New(),
+	}
 }
 
 // Window returns the trailing-window width.
@@ -201,8 +224,14 @@ func (ro *Rolling) Finished(r *request.Request) {
 	}
 	ro.totalSteps += r.VerifySteps
 	ro.totalAccept += r.AcceptedTokens
+	tpot := r.AvgTPOT(r.DoneTime)
+	ro.tpotHist.Observe(tpot)
+	ro.winTPOT.Observe(tpot)
+	if t := r.TTFT(); t >= 0 {
+		ro.ttftHist.Observe(t)
+	}
 
-	rec := finishRec{time: r.DoneTime, cat: r.Category, attained: attained, ttft: ttft, tokens: tokens}
+	rec := finishRec{time: r.DoneTime, cat: r.Category, attained: attained, ttft: ttft, tokens: tokens, tpot: tpot}
 	ro.insert(rec)
 	ro.winFinished++
 	cls.WindowFinished++
@@ -251,6 +280,7 @@ func (ro *Rolling) evict(now float64) {
 		ro.head++
 		cls := &ro.perClass[rec.cat]
 		ro.winFinished--
+		ro.winTPOT.Remove(rec.tpot)
 		cls.WindowFinished--
 		if rec.ttft {
 			ro.winTTFT--
@@ -279,6 +309,9 @@ func (ro *Rolling) Snapshot(now float64, queued, running int) RollingStats {
 		GoodTokens: ro.goodTokens, AllTokens: ro.allTokens,
 		WindowFinished: ro.winFinished, WindowAttained: ro.winAttained,
 		WindowTTFTAttained: ro.winTTFT,
+		TPOTTail:           ro.tpotHist.Digest(),
+		TTFTTail:           ro.ttftHist.Digest(),
+		WindowTPOTTail:     ro.winTPOT.Digest(),
 		PerClass:           ro.perClass,
 	}
 	// Span and division mirror Summarize exactly, so the terminal snapshot's

@@ -193,3 +193,37 @@ func TestRollingBoundedRetention(t *testing.T) {
 		t.Fatalf("backing slice grew to %d with window population %d (bound %d)", maxLen, pop, bound)
 	}
 }
+
+// TestRollingBoundedMemorySmoke streams one million finishes through a
+// rolling view and pins the bounded-memory contract: the cumulative
+// distributions live in fixed-size histograms and the window index retains
+// ~2x the window population, so retention never scales with run length.
+func TestRollingBoundedMemorySmoke(t *testing.T) {
+	ro := NewRolling(30)
+	r := finishedReq(0, request.Chat, 0.05, 0, 0.5, 1, 20)
+	ro.Arrived(r)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		// 10ms apart: ~3000 finishes live in the 30s window at any time.
+		r.DoneTime = 1 + float64(i)*0.01
+		ro.Finished(r)
+		if i%4096 == 0 {
+			ro.Snapshot(r.DoneTime, 0, 0)
+		}
+	}
+	st := ro.Snapshot(1+float64(n)*0.01, 0, 0)
+	if st.Finished != n {
+		t.Fatalf("finished %d, want %d", st.Finished, n)
+	}
+	if st.TPOTTail.Count != n {
+		t.Fatalf("TPOT digest count %d, want %d", st.TPOTTail.Count, n)
+	}
+	if st.WindowFinished > 3001 {
+		t.Fatalf("window population %d never evicted", st.WindowFinished)
+	}
+	// The backing array holds the live window plus the batch admitted since
+	// the last eviction, compacted at 2x — far below the 1M finishes seen.
+	if c := cap(ro.recent); c > 1<<14 {
+		t.Fatalf("rolling view retained %d records for a bounded window", c)
+	}
+}

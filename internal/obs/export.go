@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"adaserve/internal/metrics"
+	"adaserve/internal/obs/hist"
+	"adaserve/internal/request"
+	"adaserve/internal/serve"
+)
+
+// MetricsExporter is a serve.Observer that captures every periodic Snapshot
+// grid point and renders the series — plus a terminal metrics.Summary — as
+// Prometheus text exposition or as a machine-readable JSON series. Snapshot
+// stats are fixed-size (digests, not histograms), so memory is O(grid
+// points), independent of request count.
+type MetricsExporter struct {
+	snaps []metrics.RollingStats
+}
+
+// NewMetricsExporter returns an empty exporter.
+func NewMetricsExporter() *MetricsExporter { return &MetricsExporter{} }
+
+// OnEvent implements serve.Observer: it retains Snapshot events.
+func (e *MetricsExporter) OnEvent(ev serve.Event) {
+	if s, ok := ev.(serve.Snapshot); ok {
+		e.snaps = append(e.snaps, s.Stats)
+	}
+}
+
+// Snapshots returns the captured grid points in emission order.
+func (e *MetricsExporter) Snapshots() []metrics.RollingStats { return e.snaps }
+
+// fmtFloat renders a float in the shortest round-trip form Prometheus
+// accepts — deterministic across runs and platforms.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders the captured snapshot series and the terminal
+// summary as Prometheus text exposition. Series metrics carry explicit
+// millisecond timestamps (the snapshot's simulated instant), one sample per
+// grid point, grouped by metric name as the format requires; terminal
+// metrics follow without timestamps, including full log-bucketed histograms
+// for TPOT (overall and per class) and TTFT. sum may be nil to export the
+// series alone.
+func (e *MetricsExporter) WritePrometheus(w io.Writer, sum *metrics.Summary) error {
+	series := []struct {
+		name, typ, help string
+		value           func(s *metrics.RollingStats) float64
+	}{
+		{"adaserve_queued", "gauge", "Requests waiting across all instances.",
+			func(s *metrics.RollingStats) float64 { return float64(s.Queued) }},
+		{"adaserve_running", "gauge", "Requests running across all instances.",
+			func(s *metrics.RollingStats) float64 { return float64(s.Running) }},
+		{"adaserve_admitted_total", "counter", "Requests admitted so far.",
+			func(s *metrics.RollingStats) float64 { return float64(s.Admitted) }},
+		{"adaserve_finished_total", "counter", "Requests finished so far.",
+			func(s *metrics.RollingStats) float64 { return float64(s.Finished) }},
+		{"adaserve_attained_total", "counter", "Finished requests that met their TPOT SLO.",
+			func(s *metrics.RollingStats) float64 { return float64(s.Attained) }},
+		{"adaserve_window_attainment", "gauge", "SLO attainment over the trailing window.",
+			(*metrics.RollingStats).WindowAttainment},
+		{"adaserve_window_goodput_tokens_per_second", "gauge", "Goodput over the trailing window.",
+			func(s *metrics.RollingStats) float64 { return s.WindowGoodput }},
+		{"adaserve_window_tpot_seconds_p50", "gauge", "Median per-request TPOT over the trailing window.",
+			func(s *metrics.RollingStats) float64 { return s.WindowTPOTTail.P50 }},
+		{"adaserve_window_tpot_seconds_p99", "gauge", "99th-percentile per-request TPOT over the trailing window.",
+			func(s *metrics.RollingStats) float64 { return s.WindowTPOTTail.P99 }},
+		{"adaserve_tpot_seconds_p99", "gauge", "Cumulative 99th-percentile per-request TPOT.",
+			func(s *metrics.RollingStats) float64 { return s.TPOTTail.P99 }},
+	}
+	for _, m := range series {
+		if len(e.snaps) == 0 {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		for i := range e.snaps {
+			s := &e.snaps[i]
+			ts := int64(s.Time * 1000)
+			if _, err := fmt.Fprintf(w, "%s %s %d\n", m.name, fmtFloat(m.value(s)), ts); err != nil {
+				return err
+			}
+		}
+	}
+	if sum == nil {
+		return nil
+	}
+	finals := []struct {
+		name, typ, help string
+		value           float64
+	}{
+		{"adaserve_requests_total", "counter", "Requests offered over the whole run.", float64(sum.Requests)},
+		{"adaserve_run_finished_total", "counter", "Requests finished over the whole run.", float64(sum.Finished)},
+		{"adaserve_attainment", "gauge", "Terminal SLO attainment fraction.", sum.Attainment()},
+		{"adaserve_ttft_attainment", "gauge", "Terminal TTFT attainment fraction.", sum.TTFTAttainment()},
+		{"adaserve_goodput_tokens_per_second", "gauge", "Terminal goodput.", sum.Goodput},
+		{"adaserve_throughput_tokens_per_second", "gauge", "Terminal throughput.", sum.Throughput},
+		{"adaserve_mean_accepted_per_step", "gauge", "Committed tokens per verification step.", sum.MeanAcceptedPerStep},
+	}
+	for _, m := range finals {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			m.name, m.help, m.name, m.typ, m.name, fmtFloat(m.value)); err != nil {
+			return err
+		}
+	}
+	if err := writePromHistogram(w, "adaserve_tpot_seconds", "Per-request average TPOT.", "", sum.TPOT); err != nil {
+		return err
+	}
+	if err := writePromHistogram(w, "adaserve_ttft_seconds", "Per-request TTFT.", "", sum.TTFT); err != nil {
+		return err
+	}
+	cats := make([]request.Category, 0, len(sum.PerCategory))
+	for c := range sum.PerCategory {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for i, c := range cats {
+		cs := sum.PerCategory[c]
+		help := ""
+		if i == 0 {
+			help = "Per-request average TPOT by SLO class."
+		}
+		label := fmt.Sprintf("class=%q", c.String())
+		if err := writePromHistogram(w, "adaserve_class_tpot_seconds", help, label, cs.TPOT); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one hist.Histogram as a Prometheus histogram:
+// cumulative bucket counts over the non-empty log buckets, then +Inf, sum
+// and count. help is emitted only when non-empty (labelled families declare
+// their metadata once).
+func writePromHistogram(w io.Writer, name, help, label string, h *hist.Histogram) error {
+	if h == nil {
+		return nil
+	}
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+			return err
+		}
+	}
+	sep := func(le string) string {
+		if label == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", label, le)
+	}
+	bare := ""
+	if label != "" {
+		bare = "{" + label + "}"
+	}
+	var cum int64
+	var err error
+	h.Buckets(func(upper float64, count int64) {
+		if err != nil {
+			return
+		}
+		cum += count
+		_, err = fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(fmtFloat(upper)), cum)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep("+Inf"), h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, bare, fmtFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s_count%s %d\n", name, bare, h.Count())
+	return err
+}
+
+// seriesPoint is one snapshot grid point of the JSON export.
+type seriesPoint struct {
+	Time             float64     `json:"time"`
+	Queued           int         `json:"queued"`
+	Running          int         `json:"running"`
+	Admitted         int         `json:"admitted"`
+	Finished         int         `json:"finished"`
+	Attained         int         `json:"attained"`
+	Goodput          float64     `json:"goodput"`
+	WindowAttainment float64     `json:"windowAttainment"`
+	WindowGoodput    float64     `json:"windowGoodput"`
+	WindowTPOT       hist.Digest `json:"windowTPOT"`
+	CumulativeTPOT   hist.Digest `json:"cumulativeTPOT"`
+	CumulativeTTFT   hist.Digest `json:"cumulativeTTFT"`
+}
+
+// jsonSummary is the terminal block of the JSON export.
+type jsonSummary struct {
+	System         string      `json:"system"`
+	Requests       int         `json:"requests"`
+	Finished       int         `json:"finished"`
+	Attainment     float64     `json:"attainment"`
+	TTFTAttainment float64     `json:"ttftAttainment"`
+	Goodput        float64     `json:"goodput"`
+	Throughput     float64     `json:"throughput"`
+	MeanTPOT       float64     `json:"meanTPOT"`
+	MeanTTFT       float64     `json:"meanTTFT"`
+	TPOT           hist.Digest `json:"tpot"`
+	TTFT           hist.Digest `json:"ttft"`
+	PerClass       []jsonClass `json:"perClass,omitempty"`
+}
+
+// jsonClass is one SLO class's terminal stats.
+type jsonClass struct {
+	Class      string      `json:"class"`
+	Requests   int         `json:"requests"`
+	Attainment float64     `json:"attainment"`
+	MeanTPOT   float64     `json:"meanTPOT"`
+	TPOT       hist.Digest `json:"tpot"`
+}
+
+// WriteJSON renders the captured series and terminal summary as one JSON
+// document: {"series": [...], "summary": {...}}. sum may be nil to export
+// the series alone.
+func (e *MetricsExporter) WriteJSON(w io.Writer, sum *metrics.Summary) error {
+	doc := struct {
+		Series  []seriesPoint `json:"series"`
+		Summary *jsonSummary  `json:"summary,omitempty"`
+	}{Series: []seriesPoint{}}
+	for i := range e.snaps {
+		s := &e.snaps[i]
+		doc.Series = append(doc.Series, seriesPoint{
+			Time: s.Time, Queued: s.Queued, Running: s.Running,
+			Admitted: s.Admitted, Finished: s.Finished, Attained: s.Attained,
+			Goodput: s.Goodput, WindowAttainment: s.WindowAttainment(),
+			WindowGoodput: s.WindowGoodput,
+			WindowTPOT:    s.WindowTPOTTail, CumulativeTPOT: s.TPOTTail, CumulativeTTFT: s.TTFTTail,
+		})
+	}
+	if sum != nil {
+		js := &jsonSummary{
+			System: sum.System, Requests: sum.Requests, Finished: sum.Finished,
+			Attainment: sum.Attainment(), TTFTAttainment: sum.TTFTAttainment(),
+			Goodput: sum.Goodput, Throughput: sum.Throughput,
+			MeanTPOT: sum.MeanTPOT, MeanTTFT: sum.MeanTTFT,
+			TPOT: sum.TPOTTail, TTFT: sum.TTFTTail,
+		}
+		cats := make([]request.Category, 0, len(sum.PerCategory))
+		for c := range sum.PerCategory {
+			cats = append(cats, c)
+		}
+		sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+		for _, c := range cats {
+			cs := sum.PerCategory[c]
+			js.PerClass = append(js.PerClass, jsonClass{
+				Class: c.String(), Requests: cs.Requests, Attainment: cs.Attainment(),
+				MeanTPOT: cs.MeanTPOT, TPOT: cs.TPOT.Digest(),
+			})
+		}
+		doc.Summary = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// PercentileTable renders per-class and aggregate TPOT percentiles (plus an
+// aggregate TTFT row) as an aligned text table in milliseconds — the
+// -percentiles output of adaserve-sim.
+func PercentileTable(sum *metrics.Summary) string {
+	var b []byte
+	app := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	app("%-16s %6s %9s %9s %9s %9s %9s\n", "latency (ms)", "n", "p50", "p90", "p99", "p99.9", "max")
+	row := func(name string, d hist.Digest) {
+		app("%-16s %6d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			name, d.Count, 1e3*d.P50, 1e3*d.P90, 1e3*d.P99, 1e3*d.P999, 1e3*d.Max)
+	}
+	cats := make([]request.Category, 0, len(sum.PerCategory))
+	for c := range sum.PerCategory {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		if cs := sum.PerCategory[c]; cs.TPOT != nil {
+			row("tpot/"+c.String(), cs.TPOT.Digest())
+		}
+	}
+	row("tpot/all", sum.TPOTTail)
+	row("ttft/all", sum.TTFTTail)
+	return string(b)
+}

@@ -1,0 +1,66 @@
+package hist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogramMerge checks the merge algebra on arbitrary value multisets:
+// merging is commutative and associative up to digest equality (quantiles
+// depend only on bucket counts and exact min/max, all order-independent),
+// and per-bucket counts are conserved under any merge grouping.
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{0, 0, 255, 255, 128, 0, 1, 2, 3, 4})
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120})
+	f.Add([]byte{255, 0, 0, 255, 7, 7, 7, 7, 200, 1, 199, 2, 31, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode byte pairs as values spread across (and beyond) the covered
+		// range; 0 decodes to an exact zero observation.
+		var vals []float64
+		for i := 0; i+1 < len(data); i += 2 {
+			u := uint64(data[i])<<8 | uint64(data[i+1])
+			var v float64
+			if u != 0 {
+				v = math.Exp(float64(u)/65535*40 - 20) // ~[2e-9, 5e8]
+			}
+			vals = append(vals, v)
+		}
+
+		direct := New()
+		for _, v := range vals {
+			direct.Observe(v)
+		}
+
+		// Split into three parts and merge under two different groupings.
+		parts := []*Histogram{New(), New(), New()}
+		for i, v := range vals {
+			parts[i%3].Observe(v)
+		}
+		ab := New()
+		ab.Merge(parts[0])
+		ab.Merge(parts[1])
+		abc := New()
+		abc.Merge(ab)
+		abc.Merge(parts[2])
+
+		cba := New()
+		cba.Merge(parts[2])
+		cba.Merge(parts[1])
+		cba.Merge(parts[0])
+
+		if abc.Digest() != cba.Digest() {
+			t.Fatalf("merge order changed digest: %+v vs %+v", abc.Digest(), cba.Digest())
+		}
+		if abc.Digest() != direct.Digest() {
+			t.Fatalf("merged digest %+v != direct %+v", abc.Digest(), direct.Digest())
+		}
+		if abc.counts != direct.counts || cba.counts != direct.counts {
+			t.Fatal("bucket counts not conserved across merge groupings")
+		}
+		if abc.Count() != int64(len(vals)) {
+			t.Fatalf("count %d, want %d", abc.Count(), len(vals))
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome/Perfetto trace-event JSON object. Field order is
+// fixed by the struct, so exports are byte-deterministic.
+type traceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event phase: "X" complete span, "i" instant, "M" metadata.
+	Ph  string  `json:"ph"`
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// S scopes instant events ("t": thread).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace renders every retired timeline as Chrome/Perfetto trace-event
+// JSON (the {"traceEvents": [...]} wrapper chrome://tracing and ui.perfetto.dev
+// both load). Each request renders as one thread (tid = request ID) under a
+// single process: lifecycle phases become complete ("X") slices, marks
+// become thread-scoped instants, and a metadata record names the thread
+// with the request's class and outcome. Timestamps are simulated
+// microseconds. Output is deterministic: requests in ID order, one event
+// per line.
+func (sr *SpanRecorder) WriteTrace(w io.Writer) error {
+	const pid = 1
+	us := func(t float64) float64 { return t * 1e6 }
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep, first = "", false
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	}
+	for _, tl := range sr.Timelines() {
+		outcome := "ok"
+		switch {
+		case tl.Rejected:
+			outcome = "rejected"
+		case !tl.Attained:
+			outcome = "violated"
+		}
+		name := fmt.Sprintf("req %d [%s] %s", tl.ID, tl.Class, outcome)
+		meta := traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tl.ID,
+			Args: map[string]any{"name": name},
+		}
+		if err := emit(meta); err != nil {
+			return err
+		}
+		for _, p := range tl.Phases {
+			args := map[string]any{"instance": p.Instance}
+			if p.Name == "queued" {
+				// Summary annotations ride the first slice.
+				args["attained"] = tl.Attained
+				args["ttftAttained"] = tl.TTFTAttained
+				if tl.DegradedTo != "" {
+					args["degradedTo"] = tl.DegradedTo
+				}
+				if tl.Retries > 0 {
+					args["retries"] = tl.Retries
+				}
+				if tl.Hedges > 0 {
+					args["hedges"] = tl.Hedges
+				}
+			}
+			ev := traceEvent{
+				Name: p.Name, Cat: tl.Class, Ph: "X",
+				Ts: us(p.Start), Dur: us(p.End - p.Start),
+				Pid: pid, Tid: tl.ID, Args: args,
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+		for _, m := range tl.Marks {
+			args := map[string]any{}
+			if m.Instance >= 0 {
+				args["instance"] = m.Instance
+			}
+			if m.Detail != "" {
+				args["detail"] = m.Detail
+			}
+			if m.Tokens != 0 {
+				args["tokens"] = m.Tokens
+			}
+			ev := traceEvent{
+				Name: m.Name, Cat: tl.Class, Ph: "i",
+				Ts: us(m.Time), Pid: pid, Tid: tl.ID, S: "t",
+			}
+			if len(args) > 0 {
+				ev.Args = args
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

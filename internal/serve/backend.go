@@ -127,11 +127,28 @@ func (s *single) Dispatch(r *request.Request) (*Instance, error) {
 func (s *single) AfterIterate(*Instance, *Queue) error { return nil }
 
 // delivery is one deferred internal event: deliver runs when the driver's
-// event cursor reaches the ready instant.
+// event cursor reaches the ready instant. mig, when non-nil, annotates the
+// delivery as a request migration; the driver emits a RequestMigrated event
+// after executing it (only while observers are registered — the annotation
+// costs one nil check on the observer-free path).
 type delivery struct {
 	ready   float64
 	id      int
 	deliver func()
+	mig     *Migration
+}
+
+// Migration annotates a scheduled delivery that moves a request between
+// replicas, so observers can reconstruct the transfer window (Depart →
+// delivery) without the backend knowing about events.
+type Migration struct {
+	Req *request.Request
+	// From and To are the source and destination instance IDs.
+	From, To int
+	// Depart is when the request left the source.
+	Depart float64
+	// Bytes is the KV payload moved (0 when no KV travels).
+	Bytes float64
 }
 
 // Queue holds a run's deferred internal deliveries — events a backend
@@ -147,13 +164,26 @@ type Queue struct {
 // deliveries at the same instant (lower id first); callers use the request
 // ID so the order is deterministic.
 func (q *Queue) Schedule(ready float64, id int, deliver func()) {
+	q.insert(delivery{ready: ready, id: id, deliver: deliver})
+}
+
+// ScheduleMigration enqueues a delivery like Schedule and annotates it as a
+// request migration: when the driver executes it, it emits a RequestMigrated
+// event carrying m. The annotation is derivation-only — it never perturbs
+// the simulation, and with no observers registered it costs one nil check.
+func (q *Queue) ScheduleMigration(ready float64, id int, m Migration, deliver func()) {
+	q.insert(delivery{ready: ready, id: id, deliver: deliver, mig: &m})
+}
+
+// insert places d in (ready, id) order.
+func (q *Queue) insert(d delivery) {
 	at := sort.Search(len(q.items), func(i int) bool {
 		it := q.items[i]
-		return it.ready > ready || (it.ready == ready && it.id > id)
+		return it.ready > d.ready || (it.ready == d.ready && it.id > d.id)
 	})
 	q.items = append(q.items, delivery{})
 	copy(q.items[at+1:], q.items[at:])
-	q.items[at] = delivery{ready: ready, id: id, deliver: deliver}
+	q.items[at] = d
 }
 
 // Len returns the number of pending deliveries.

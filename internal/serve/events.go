@@ -246,6 +246,24 @@ type RequestRetried struct {
 	Attempt int
 }
 
+// RequestMigrated reports a request's KV state landing on another replica:
+// the prefill-to-decode handoff of a disaggregated cluster, or a drain
+// migration off a scaling-down replica. Depart is when the request left the
+// source (prefill completion / drain decision); Time is the delivery instant
+// at the destination, so Time − Depart is the transfer's in-flight window —
+// the KV-transfer span of a request's observability timeline.
+type RequestMigrated struct {
+	EventMeta
+	Req *request.Request
+	// From and To are the source and destination serving instances.
+	From, To int
+	// Depart is the instant the request left the source replica.
+	Depart float64
+	// Bytes is the KV payload priced over the interconnect (0 for drain
+	// migrations of still-queued requests, which carry no KV).
+	Bytes float64
+}
+
 // RequestHedged reports a duplicate dispatch for a request whose TTFT
 // deadline is at risk on a suspect (stalled or crashed-but-undetected)
 // replica: a clone races on another active replica, first finish wins, and

@@ -244,7 +244,18 @@ func (s *Server) Run(src Source) (*Result, error) {
 		}
 		if evReady && (busy == nil || evTime <= busy.clock) {
 			if evInternal {
-				s.queue.pop().deliver()
+				d := s.queue.pop()
+				d.deliver()
+				if d.mig != nil && s.tracking {
+					// Derivation only: the migration already landed; the event
+					// carries its exact in-flight window (Depart → ready).
+					s.bumpNow(d.ready)
+					s.emit(RequestMigrated{
+						EventMeta: s.meta(d.ready), Req: d.mig.Req,
+						From: d.mig.From, To: d.mig.To,
+						Depart: d.mig.Depart, Bytes: d.mig.Bytes,
+					})
+				}
 				continue
 			}
 			r := src.Pop()
